@@ -1,0 +1,185 @@
+//! Ablation studies on the design choices DESIGN.md calls out (these go
+//! beyond the paper's evaluation):
+//!
+//! * replacement policy: LRU (paper) vs LFU / GDSF / SIZE / FIFO;
+//! * remote-hit caching: whether the requester and/or proxy re-cache
+//!   documents forwarded from peer browsers;
+//! * index model: exact vs delayed vs Bloom summaries (hit ratio vs index
+//!   memory trade-off).
+
+use baps_bench::{banner, load_profile, Cli};
+use baps_cache::Policy;
+use baps_core::{
+    BrowserSizing, LatencyParams, Organization, RemoteHitCaching, SystemConfig,
+};
+use baps_index::IndexModel;
+use baps_sim::{human_bytes, pct, run_sweep, Table};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    let latency = LatencyParams::paper();
+    let (trace, stats) = load_profile(Profile::NlanrUc, cli);
+    let base = {
+        let mut cfg = SystemConfig::paper_default(
+            Organization::BrowsersAware,
+            (stats.infinite_cache_bytes / 10).max(1),
+        );
+        cfg.browser_sizing = BrowserSizing::Minimum;
+        cfg
+    };
+
+    banner("Ablation A: replacement policy (BAPS, NLANR-uc, 10% proxy)");
+    let configs: Vec<SystemConfig> = Policy::all()
+        .iter()
+        .map(|&policy| SystemConfig { policy, ..base })
+        .collect();
+    let runs = run_sweep(&trace, &stats, &configs, &latency);
+    let mut t = Table::new(vec!["policy", "HR %", "BHR %"]);
+    for (cfg, r) in configs.iter().zip(&runs) {
+        t.row(vec![
+            cfg.policy.name().to_owned(),
+            pct(r.hit_ratio()),
+            pct(r.byte_hit_ratio()),
+        ]);
+    }
+    print!("{}", if cli.csv { t.to_csv() } else { t.render() });
+    println!();
+
+    banner("Ablation B: remote-hit caching policy");
+    let options = [
+        ("no-caching (paper)", RemoteHitCaching::NoCaching),
+        ("cache-at-requester", RemoteHitCaching::CacheAtRequester),
+        ("cache-at-proxy", RemoteHitCaching::CacheAtProxy),
+        ("cache-both", RemoteHitCaching::CacheBoth),
+    ];
+    let configs: Vec<SystemConfig> = options
+        .iter()
+        .map(|&(_, remote_hit_caching)| SystemConfig {
+            remote_hit_caching,
+            ..base
+        })
+        .collect();
+    let runs = run_sweep(&trace, &stats, &configs, &latency);
+    let mut t = Table::new(vec!["remote-hit caching", "HR %", "BHR %", "remote hits"]);
+    for ((label, _), r) in options.iter().zip(&runs) {
+        t.row(vec![
+            (*label).to_owned(),
+            pct(r.hit_ratio()),
+            pct(r.byte_hit_ratio()),
+            format!("{}", r.metrics.remote_browser.count),
+        ]);
+    }
+    print!("{}", if cli.csv { t.to_csv() } else { t.render() });
+    println!();
+
+    banner("Ablation C: index model (hit ratio vs index memory)");
+    let models = [
+        IndexModel::Exact,
+        IndexModel::Delayed {
+            threshold: 0.05,
+            interval_ms: None,
+        },
+        IndexModel::Bloom {
+            bits_per_item: 16,
+            threshold: 0.05,
+        },
+        IndexModel::Bloom {
+            bits_per_item: 8,
+            threshold: 0.05,
+        },
+        IndexModel::CountingBloom {
+            slots: 16_384,
+            threshold: 0.05,
+        },
+    ];
+    let configs: Vec<SystemConfig> = models
+        .iter()
+        .map(|&index_model| SystemConfig { index_model, ..base })
+        .collect();
+    let runs = run_sweep(&trace, &stats, &configs, &latency);
+    let mut t = Table::new(vec![
+        "index model",
+        "HR %",
+        "remote hits",
+        "wasted probes",
+        "update traffic",
+        "index memory",
+    ]);
+    for (model, r) in models.iter().zip(&runs) {
+        t.row(vec![
+            model.label(),
+            pct(r.hit_ratio()),
+            format!("{}", r.metrics.remote_browser.count),
+            format!("{}", r.metrics.wasted_probes),
+            human_bytes(r.index_stats.update_bytes),
+            human_bytes(r.index_memory_bytes),
+        ]);
+    }
+    print!("{}", if cli.csv { t.to_csv() } else { t.render() });
+    println!();
+
+    banner("Ablation D: peer-serve promotion (does serving a peer count as an access?)");
+    let configs = [
+        ("promote (LRU semantics)", true),
+        ("no promotion", false),
+    ];
+    let runs = run_sweep(
+        &trace,
+        &stats,
+        &configs
+            .iter()
+            .map(|&(_, peer_serve_promotes)| SystemConfig {
+                peer_serve_promotes,
+                ..base
+            })
+            .collect::<Vec<_>>(),
+        &latency,
+    );
+    let mut t = Table::new(vec!["peer-serve policy", "HR %", "remote hits", "mem hits"]);
+    for ((label, _), r) in configs.iter().zip(&runs) {
+        t.row(vec![
+            (*label).to_owned(),
+            pct(r.hit_ratio()),
+            format!("{}", r.metrics.remote_browser.count),
+            format!("{}", r.metrics.mem_hits),
+        ]);
+    }
+    print!("{}", if cli.csv { t.to_csv() } else { t.render() });
+    println!();
+
+    banner("Ablation E: document TTL (consistency vs hit ratio)");
+    let hour = 60 * 60 * 1000u64;
+    let ttls: [(&str, Option<u64>); 4] = [
+        ("none (paper)", None),
+        ("24 h", Some(24 * hour)),
+        ("1 h", Some(hour)),
+        ("5 min", Some(5 * 60 * 1000)),
+    ];
+    let runs = run_sweep(
+        &trace,
+        &stats,
+        &ttls
+            .iter()
+            .map(|&(_, ttl_ms)| SystemConfig { ttl_ms, ..base })
+            .collect::<Vec<_>>(),
+        &latency,
+    );
+    let mut t = Table::new(vec![
+        "TTL",
+        "HR %",
+        "revalidations",
+        "revalidation time (s)",
+        "remote hits",
+    ]);
+    for ((label, _), r) in ttls.iter().zip(&runs) {
+        t.row(vec![
+            (*label).to_owned(),
+            pct(r.hit_ratio()),
+            format!("{}", r.metrics.revalidations),
+            format!("{:.0}", r.latency.revalidation_ms / 1000.0),
+            format!("{}", r.metrics.remote_browser.count),
+        ]);
+    }
+    print!("{}", if cli.csv { t.to_csv() } else { t.render() });
+}

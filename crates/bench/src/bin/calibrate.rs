@@ -1,0 +1,99 @@
+//! Calibration helper (developer tool): searches generator parameters per
+//! profile so the synthetic traces hit the paper's Table 1 anchors
+//! (max hit ratio and max byte hit ratio).
+//!
+//! Not part of the experiment suite; run it after changing the generator
+//! and copy the printed parameters into `baps-trace/src/profiles.rs`.
+
+use baps_trace::{Profile, SynthConfig, TraceStats};
+
+fn measure(cfg: &SynthConfig, seed: u64, scale: f64) -> (f64, f64, f64, f64) {
+    let scaled = cfg.scaled(scale);
+    let stats = TraceStats::compute(&scaled.generate(seed));
+    (
+        stats.max_hit_ratio,
+        stats.max_byte_hit_ratio,
+        stats.total_gb() / scale,
+        stats.infinite_gb() / scale,
+    )
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    for profile in Profile::all() {
+        let target = profile.targets();
+        let mut cfg = profile.config();
+        let seed = profile.canonical_seed();
+
+        // 1. Binary-search the doc universe for the max hit ratio.
+        let (mut lo, mut hi) = (cfg.n_requests as f64 * 0.05, cfg.n_requests as f64 * 3.0);
+        for _ in 0..13 {
+            let mid = (lo + hi) / 2.0;
+            cfg.n_docs = (mid as u32).max(cfg.n_clients);
+            let (hr, ..) = measure(&cfg, seed, scale);
+            if hr > target.max_hit_ratio {
+                lo = mid; // too much locality: more docs
+            } else {
+                hi = mid;
+            }
+        }
+
+        // 2. If the universe alone cannot reach the target, tune temporal
+        // locality (more of it raises the hit ratio).
+        let (hr_now, ..) = measure(&cfg, seed, scale);
+        if (hr_now - target.max_hit_ratio).abs() > 1.0 {
+            let (mut tlo, mut thi) = (0.0f64, 0.8f64);
+            for _ in 0..10 {
+                let mid = (tlo + thi) / 2.0;
+                cfg.p_temporal = mid;
+                let (hr, ..) = measure(&cfg, seed, scale);
+                if hr > target.max_hit_ratio {
+                    thi = mid;
+                } else {
+                    tlo = mid;
+                }
+            }
+        }
+
+        // 3. Binary-search the popularity-size bias for max byte hit ratio.
+        let (mut blo, mut bhi) = (0.0f64, 1.0f64);
+        for _ in 0..10 {
+            let mid = (blo + bhi) / 2.0;
+            cfg.pop_size_bias = mid;
+            let (_, bhr, ..) = measure(&cfg, seed, scale);
+            if bhr > target.max_byte_hit_ratio {
+                blo = mid; // still too high: stronger bias
+            } else {
+                bhi = mid;
+            }
+        }
+
+        // 4. Scale the size model so total GB matches.
+        let (hr, bhr, total_gb, inf_gb) = measure(&cfg, seed, scale);
+        let size_mult = target.total_gb / total_gb;
+        cfg.size_model.body_median *= size_mult;
+        cfg.size_model.tail_scale *= size_mult;
+        let (hr2, bhr2, total2, inf2) = measure(&cfg, seed, scale);
+
+        println!("--- {} (scale {scale}) ---", profile.name());
+        println!(
+            "  pass1: HR {hr:.2} (target {:.1})  BHR {bhr:.2} (target {:.2})  total {total_gb:.2} inf {inf_gb:.2}",
+            target.max_hit_ratio, target.max_byte_hit_ratio
+        );
+        println!(
+            "  final: HR {hr2:.2}  BHR {bhr2:.2}  total {total2:.2} (target {:.1})  inf {inf2:.2} (target {:.1})",
+            target.total_gb, target.infinite_gb
+        );
+        println!(
+            "  params: n_docs = {}, p_temporal = {:.3}, pop_size_bias = {:.3}, body_median = {:.0}, tail_scale = {:.0}",
+            cfg.n_docs,
+            cfg.p_temporal,
+            cfg.pop_size_bias,
+            cfg.size_model.body_median,
+            cfg.size_model.tail_scale
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 3: breakdowns of the browsers-aware proxy server's hit ratios and
+//! byte hit ratios on NLANR-uc (minimum browser caches): how much is served
+//! by the local browser, the proxy cache, and remote browser caches.
+//!
+//! Paper anchor: the remote-browsers share is non-negligible even at very
+//! small browser cache sizes.
+
+use baps_bench::{banner, load_profile, sweep_org, Cli};
+use baps_core::{BrowserSizing, HitClass, Organization};
+use baps_sim::{pct, Table, PROXY_SCALE_POINTS};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Figure 3: browsers-aware hit-ratio breakdowns on NLANR-uc (min browser cache)");
+    let (trace, stats) = load_profile(Profile::NlanrUc, cli);
+    let runs = sweep_org(&trace, &stats, Organization::BrowsersAware, |_| {
+        BrowserSizing::Minimum
+    });
+
+    let header: Vec<String> = std::iter::once("component".to_owned())
+        .chain(PROXY_SCALE_POINTS.iter().map(|f| format!("{}%", f * 100.0)))
+        .collect();
+    let classes = [
+        ("local-browser", HitClass::LocalBrowser),
+        ("proxy", HitClass::Proxy),
+        ("remote-browsers", HitClass::RemoteBrowser),
+    ];
+    for (byte, title) in [
+        (false, "Hit ratio breakdown (%)"),
+        (true, "Byte hit ratio breakdown (%)"),
+    ] {
+        let mut table = Table::new(header.clone());
+        for (label, class) in classes {
+            let cells: Vec<String> = std::iter::once(label.to_owned())
+                .chain(runs.iter().map(|r| {
+                    pct(if byte {
+                        r.metrics.class_byte_ratio(class)
+                    } else {
+                        r.metrics.class_ratio(class)
+                    })
+                }))
+                .collect();
+            table.row(cells);
+        }
+        let total: Vec<String> = std::iter::once("total".to_owned())
+            .chain(runs.iter().map(|r| {
+                pct(if byte {
+                    r.byte_hit_ratio()
+                } else {
+                    r.hit_ratio()
+                })
+            }))
+            .collect();
+        table.row(total);
+        if cli.csv {
+            println!("# {title}\n{}", table.to_csv());
+        } else {
+            println!("{title} by proxy cache size (% of infinite cache):");
+            print!("{}", table.render());
+            println!();
+        }
+    }
+    let min_remote = runs
+        .iter()
+        .map(|r| r.metrics.class_ratio(HitClass::RemoteBrowser))
+        .fold(f64::MAX, f64::min);
+    println!(
+        "remote-browser share is at least {:.2}% of all requests across the sweep \
+         (paper: \"should not be neglected even when the browser cache size is very small\")",
+        min_remote
+    );
+}

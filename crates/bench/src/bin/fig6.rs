@@ -1,0 +1,10 @@
+//! Figure 6: browsers-aware vs proxy-and-local-browser on BU-98 with
+//! "average" browser caches scaled alongside the proxy cache.
+
+use baps_bench::{print_two_org_figure, Cli};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    print_two_org_figure(Profile::Bu98, cli, "Figure 6");
+}

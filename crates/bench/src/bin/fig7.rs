@@ -1,0 +1,14 @@
+//! Figure 7: the limit of the browsers-aware proxy server — the CA*netII
+//! trace has only 3 clients, so the accumulated browser-cache capacity is
+//! tiny relative to the proxy cache and the gain collapses.
+//!
+//! Paper anchor: both average hit-ratio and byte-hit-ratio increases are
+//! below 1 percentage point on this trace.
+
+use baps_bench::{print_two_org_figure, Cli};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    print_two_org_figure(Profile::CaNetII, cli, "Figure 7");
+}

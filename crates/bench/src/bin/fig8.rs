@@ -1,0 +1,66 @@
+//! Figure 8: hit-ratio and byte-hit-ratio *increments* of the
+//! browsers-aware proxy server over proxy-and-local-browser as the client
+//! population grows (25% → 100% of clients), proxy cache fixed at 10% of
+//! the full trace's infinite cache size.
+//!
+//! Paper anchors: increments grow with the number of clients; e.g. BU-98's
+//! hit-ratio increment rises 5.7 → 13.3 → 16.87 → 19.3 % and BU-95's
+//! byte-hit-ratio increment rises 4.33 → 20.17 → 24.82 → 28.8 %.
+
+use baps_bench::{banner, load_profile, Cli};
+use baps_core::{BrowserSizing, LatencyParams, Organization, SystemConfig};
+use baps_sim::{pct, run_scaling, Table, CLIENT_SCALE_POINTS};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Figure 8: increment of browsers-aware over proxy-and-local-browser vs #clients");
+
+    let profiles = [Profile::NlanrBo1, Profile::Bu95, Profile::Bu98];
+    let header: Vec<String> = std::iter::once("trace".to_owned())
+        .chain(
+            CLIENT_SCALE_POINTS
+                .iter()
+                .map(|f| format!("{}%", f * 100.0)),
+        )
+        .collect();
+    let mut hr = Table::new(header.clone());
+    let mut bhr = Table::new(header);
+
+    for profile in profiles {
+        let (trace, stats) = load_profile(profile, cli);
+        let mut base = SystemConfig::paper_default(Organization::BrowsersAware, 0);
+        base.browser_sizing = BrowserSizing::FractionOfClientInfinite(0.10);
+        let proxy_capacity = (stats.infinite_cache_bytes / 10).max(1);
+        let points = run_scaling(
+            &trace,
+            &CLIENT_SCALE_POINTS,
+            proxy_capacity,
+            &base,
+            &LatencyParams::paper(),
+            profile.canonical_seed(),
+        );
+        hr.row(
+            std::iter::once(profile.name().to_owned())
+                .chain(points.iter().map(|p| pct(p.hit_ratio_increment())))
+                .collect::<Vec<_>>(),
+        );
+        bhr.row(
+            std::iter::once(profile.name().to_owned())
+                .chain(points.iter().map(|p| pct(p.byte_hit_ratio_increment())))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    if cli.csv {
+        println!("# hit ratio increment (%)\n{}", hr.to_csv());
+        println!("# byte hit ratio increment (%)\n{}", bhr.to_csv());
+    } else {
+        println!("Hit-ratio increment (%) vs relative number of clients:");
+        print!("{}", hr.render());
+        println!("(paper anchor: BU-98 rises 5.7 -> 13.3 -> 16.87 -> 19.3)");
+        println!("\nByte-hit-ratio increment (%) vs relative number of clients:");
+        print!("{}", bhr.render());
+        println!("(paper anchor: BU-95 rises 4.33 -> 20.17 -> 24.82 -> 28.8)");
+    }
+}

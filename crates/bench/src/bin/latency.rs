@@ -1,0 +1,61 @@
+//! Service-time distributions (extension of the paper's §5 aggregate
+//! analysis): per-hit-class latency percentiles for browsers-aware vs
+//! proxy-and-local-browser, showing exactly what the 0.1 s peer-connection
+//! setup costs and what the avoided WAN fetches save.
+
+use baps_bench::{banner, load_profile, Cli};
+use baps_core::{BrowserSizing, LatencyParams, Organization, SystemConfig};
+use baps_sim::{run_with_options, LatencyHistogram, RunOptions, Table};
+use baps_trace::Profile;
+
+fn row(label: &str, h: &LatencyHistogram) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        format!("{}", h.count()),
+        format!("{:.3}", h.mean_ms()),
+        format!("{:.3}", h.quantile_ms(0.50)),
+        format!("{:.3}", h.quantile_ms(0.90)),
+        format!("{:.3}", h.quantile_ms(0.99)),
+        format!("{:.1}", h.max_ms()),
+    ]
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Service-time distributions (NLANR-bo1, 10% proxy, min browsers, 10% warm-up)");
+    let (trace, stats) = load_profile(Profile::NlanrBo1, cli);
+    let opts = RunOptions { warmup_frac: 0.10 };
+    let latency = LatencyParams::paper();
+
+    for org in [
+        Organization::BrowsersAware,
+        Organization::ProxyAndLocalBrowser,
+    ] {
+        let mut cfg =
+            SystemConfig::paper_default(org, (stats.infinite_cache_bytes / 10).max(1));
+        cfg.browser_sizing = BrowserSizing::Minimum;
+        let r = run_with_options(&trace, &stats, &cfg, &latency, &opts);
+        let h = &r.histograms;
+        println!("{} — per-request service time (ms):", org.name());
+        let mut table = Table::new(vec![
+            "class", "requests", "mean", "p50", "p90", "p99", "max",
+        ]);
+        table.row(row("local-browser", &h.local_browser));
+        table.row(row("proxy", &h.proxy));
+        table.row(row("remote-browsers", &h.remote_browser));
+        table.row(row("miss (WAN)", &h.miss));
+        table.row(row("all", &h.all));
+        if cli.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        println!();
+    }
+    println!(
+        "Remote-browser hits sit between proxy hits and WAN fetches (connection\n\
+         setup dominates small documents), which is why converting misses into\n\
+         remote hits lowers mean service time even though remote hits are slower\n\
+         than proxy hits."
+    );
+}

@@ -1,0 +1,118 @@
+//! §4.2 memory byte-hit-ratio comparison.
+//!
+//! The paper picks two operating points with nearly equal byte hit ratios —
+//! browsers-aware at 5% of the infinite cache size vs proxy-and-local-browser
+//! at 10% — and shows the browsers-aware system serves far more of those
+//! bytes from *memory* (3.5% vs 1.9% memory byte hit ratio), cutting total
+//! hit latency by ~5.2%, because browser caches add RAM capacity that scales
+//! with the client population.
+
+use baps_bench::{banner, load_profile, Cli};
+use baps_core::{BrowserSizing, LatencyParams, Organization, SystemConfig};
+use baps_sim::{pct, run, Table};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    banner("§4.2: memory byte hit ratios at equivalent byte hit ratios (NLANR-uc)");
+    let (trace, stats) = load_profile(Profile::NlanrUc, cli);
+
+    let mk = |org: Organization, frac: f64| {
+        let mut cfg = SystemConfig::paper_default(
+            org,
+            ((stats.infinite_cache_bytes as f64 * frac).round() as u64).max(1),
+        );
+        cfg.browser_sizing = BrowserSizing::Minimum;
+        cfg.mem_fraction = 0.1; // paper: memory = 1/10 of each cache
+        cfg
+    };
+    let latency = LatencyParams::paper();
+    let plb = run(
+        &trace,
+        &stats,
+        &mk(Organization::ProxyAndLocalBrowser, 0.10),
+        &latency,
+    );
+    // Find the browsers-aware proxy size whose *byte hit ratio* matches the
+    // baseline's (the paper compares 5% vs 10% because those happened to be
+    // equal-BHR points on its traces; our calibrated traces put the
+    // crossover elsewhere, so we bisect for it).
+    let target_bhr = plb.byte_hit_ratio();
+    let (mut lo, mut hi) = (0.01f64, 0.10f64);
+    let mut baps = run(&trace, &stats, &mk(Organization::BrowsersAware, hi), &latency);
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        let r = run(&trace, &stats, &mk(Organization::BrowsersAware, mid), &latency);
+        if r.byte_hit_ratio() < target_bhr {
+            lo = mid;
+        } else {
+            hi = mid;
+            baps = r;
+        }
+    }
+    let baps_frac = hi;
+
+    let mut table = Table::new(vec![
+        "system",
+        "proxy size",
+        "HR %",
+        "BHR %",
+        "mem BHR %",
+        "hit latency (s)",
+    ]);
+    let baps_label = format!("{:.1}%", baps_frac * 100.0);
+    for (label, size, r) in [
+        ("browsers-aware-proxy-server", baps_label.as_str(), &baps),
+        ("proxy-and-local-browser", "10%", &plb),
+    ] {
+        // Hit latency: everything except the WAN (miss) component.
+        let hit_latency_s = (r.latency.total_ms() - r.latency.wan_ms) / 1000.0;
+        table.row(vec![
+            label.to_owned(),
+            size.to_owned(),
+            pct(r.hit_ratio()),
+            pct(r.byte_hit_ratio()),
+            pct(r.metrics.mem_byte_hit_ratio()),
+            format!("{hit_latency_s:.1}"),
+        ]);
+    }
+    if cli.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+
+    println!(
+        "\nbyte hit ratios at these points: {} vs {} (paper: 13.6 vs 13.9 — \
+         approximately equal by construction)",
+        pct(baps.byte_hit_ratio()),
+        pct(plb.byte_hit_ratio())
+    );
+    println!(
+        "memory byte hit ratio, conservative 1/10 browser memory: {} vs {} \
+         (paper, same 1/10 assumption: 3.5% vs 1.9%)",
+        pct(baps.metrics.mem_byte_hit_ratio()),
+        pct(plb.metrics.mem_byte_hit_ratio()),
+    );
+
+    // The paper's §1 motivates RAM-resident browser caches ("browser cache
+    // in memory"); with that realistic setting the browsers-aware system's
+    // extra memory pool is visible directly.
+    let mut ram_cfg = mk(Organization::BrowsersAware, baps_frac);
+    ram_cfg.browser_mem_fraction = Some(1.0);
+    let baps_ram = run(&trace, &stats, &ram_cfg, &latency);
+    let hit_lat = |r: &baps_sim::RunResult| r.latency.total_ms() - r.latency.wan_ms;
+    println!(
+        "memory byte hit ratio with RAM-resident browser caches: {} vs {} \
+         (browsers-aware serves {:.1}x more bytes from memory)",
+        pct(baps_ram.metrics.mem_byte_hit_ratio()),
+        pct(plb.metrics.mem_byte_hit_ratio()),
+        baps_ram.metrics.mem_byte_hit_ratio() / plb.metrics.mem_byte_hit_ratio().max(1e-9),
+    );
+    let reduction = 100.0 * (hit_lat(&plb) - hit_lat(&baps_ram)) / hit_lat(&plb).max(1e-9);
+    println!(
+        "hit-latency change (RAM browsers) of browsers-aware vs baseline: {:.2}% \
+         (paper: ~5.2% reduction; positive = faster)",
+        reduction
+    );
+}

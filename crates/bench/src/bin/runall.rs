@@ -1,0 +1,39 @@
+//! Runs every experiment binary in sequence (in-process), printing the
+//! complete paper-reproduction report. `tee` it into a file to regenerate
+//! the data behind EXPERIMENTS.md:
+//!
+//! ```sh
+//! cargo run --release -p baps-bench --bin runall | tee experiments.txt
+//! ```
+
+use std::process::{Command, Stdio};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "memhit", "overhead",
+        "sharing", "security", "ablation", "latency", "hierarchy",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!(">>> running {bin} {}", args.join(" "));
+        let status = Command::new(&path)
+            .args(&args)
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {} ({e}); build with `cargo build --release -p baps-bench` first", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

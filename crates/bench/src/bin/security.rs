@@ -1,0 +1,80 @@
+//! §6 reliability protocols: integrity + anonymity overhead.
+//!
+//! The paper claims the data-integrity (digital watermark) and
+//! communication-anonymity protocols add trivial overhead. This binary
+//! measures the protocol operations on synthetic documents across the Web
+//! size spectrum and compares them against the 100 Mbps LAN transfer time
+//! of the same documents.
+
+use baps_bench::{banner, Cli};
+use baps_core::LatencyParams;
+use baps_crypto::{
+    requester_open, target_serve, verify_document, KeyPair, PeerId, ProxySigner, SecureRelay,
+};
+use baps_sim::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn time_ms<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / iters as f64
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner("§6: integrity + anonymity protocol overhead vs LAN transfer time");
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let signer = ProxySigner::generate(&mut rng);
+    let requester_keys = KeyPair::generate(&mut rng);
+    let target_keys = KeyPair::generate(&mut rng);
+    let latency = LatencyParams::paper();
+
+    let mut table = Table::new(vec![
+        "doc size",
+        "watermark sign (ms)",
+        "verify (ms)",
+        "secure relay e2e (ms)",
+        "LAN transfer (ms)",
+        "integrity % of LAN",
+    ]);
+    let iters = if cli.scale < 1.0 { 5 } else { 20 };
+    for size in [1usize << 10, 8 << 10, 64 << 10, 1 << 20] {
+        let mut doc = vec![0u8; size];
+        rng.fill(doc.as_mut_slice());
+        let wm = signer.watermark(&doc);
+
+        let sign_ms = time_ms(iters, || signer.watermark(&doc));
+        let verify_ms = time_ms(iters, || {
+            verify_document(&signer.public_key(), &doc, &wm).unwrap()
+        });
+        let relay_ms = time_ms(iters, || {
+            let mut relay = SecureRelay::new();
+            let sealed = relay
+                .begin(&mut rng, PeerId(1), &target_keys.public, "u")
+                .unwrap();
+            let reply = target_serve(&mut rng, &target_keys, &sealed, &doc, wm).unwrap();
+            let (_, delivery) = relay.complete(reply, &requester_keys.public).unwrap();
+            requester_open(&requester_keys, &delivery).unwrap()
+        });
+        let lan_ms = latency.lan_ms(size as u64);
+        table.row(vec![
+            format!("{} KB", size >> 10),
+            format!("{sign_ms:.3}"),
+            format!("{verify_ms:.3}"),
+            format!("{relay_ms:.3}"),
+            format!("{lan_ms:.3}"),
+            format!("{:.2}", 100.0 * (sign_ms + verify_ms) / lan_ms),
+        ]);
+    }
+    print!("{}", if cli.csv { table.to_csv() } else { table.render() });
+    println!(
+        "\n(paper §6: \"the associated overheads are trivial\" — integrity costs are a few\n\
+         percent of a single LAN transfer; the secure relay adds symmetric encryption,\n\
+         which is the dominant cost but still commensurate with one transfer.)"
+    );
+}

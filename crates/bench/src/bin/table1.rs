@@ -1,0 +1,60 @@
+//! Table 1: characteristics of the five (synthesised) Web traces.
+//!
+//! Prints the measured statistics of each calibrated profile next to the
+//! paper's reported values. Cells the OCR garbled are shown as `~x`
+//! (reconstructed estimates; see `baps-trace::profiles`).
+
+use baps_bench::{anchor, banner, load_profile, Cli};
+use baps_sim::{pct, Table};
+use baps_trace::Profile;
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Table 1: Selected Web Traces (paper target vs measured)");
+
+    let mut table = Table::new(vec![
+        "Trace",
+        "Period",
+        "Requests",
+        "Total GB",
+        "Inf.Cache GB",
+        "Clients",
+        "Max HR %",
+        "Max BHR %",
+    ]);
+    for profile in Profile::all() {
+        let (_, stats) = load_profile(profile, cli);
+        let t = profile.targets();
+        table.row(vec![
+            format!("{} (paper)", profile.name()),
+            profile.period().to_owned(),
+            format!("{}", t.requests),
+            format!("{:.2}", t.total_gb),
+            format!("{:.2}", t.infinite_gb),
+            format!("{}", t.clients),
+            anchor(t.max_hit_ratio, !t.approx),
+            pct(t.max_byte_hit_ratio),
+        ]);
+        table.row(vec![
+            format!("{} (ours)", profile.name()),
+            "synthetic".to_owned(),
+            format!("{}", stats.requests),
+            format!("{:.2}", stats.total_gb()),
+            format!("{:.2}", stats.infinite_gb()),
+            format!("{}", stats.clients),
+            pct(stats.max_hit_ratio),
+            pct(stats.max_byte_hit_ratio),
+        ]);
+    }
+    if cli.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    if cli.scale < 1.0 {
+        println!(
+            "\n(note: run at --scale {}; paper columns describe full-size traces)",
+            cli.scale
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper. All of them
+//! accept `--scale <frac>` (default 1.0) to shrink the workloads for quick
+//! smoke runs, and print paper-reported anchors next to measured values so
+//! calibration drift is visible. Use `--csv` to emit machine-readable
+//! output instead of the ASCII table.
+
+#![warn(missing_docs)]
+
+use baps_trace::{Profile, Trace, TraceStats};
+
+
+
+/// Command-line options common to all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Workload scale factor in (0, 1].
+    pub scale: f64,
+    /// Emit CSV instead of ASCII tables.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `--scale <f>` and `--csv` from `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut scale = 1.0f64;
+        let mut csv = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| die("--scale needs a number in (0, 1]"));
+                    if !(v > 0.0 && v <= 1.0) {
+                        die("--scale must be in (0, 1]");
+                    }
+                    scale = v;
+                }
+                "--csv" => csv = true,
+                "--help" | "-h" => {
+                    println!("usage: <bin> [--scale <frac>] [--csv]");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown argument: {other}")),
+            }
+        }
+        Cli { scale, csv }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Generates a profile trace at the CLI scale and computes its statistics.
+pub fn load_profile(profile: Profile, cli: Cli) -> (Trace, TraceStats) {
+    let trace = if cli.scale >= 1.0 {
+        profile.generate()
+    } else {
+        profile.generate_scaled(cli.scale)
+    };
+    let stats = TraceStats::compute(&trace);
+    (trace, stats)
+}
+
+/// Prints a section header.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Formats an `Option<f64>`-like paper anchor: `-` when unknown.
+pub fn anchor(v: f64, known: bool) -> String {
+    if known {
+        format!("{v:.2}")
+    } else {
+        "~".to_owned() + &format!("{v:.0}")
+    }
+}
+
+use baps_core::{BrowserSizing, LatencyParams, Organization, SystemConfig};
+use baps_sim::{pct, run_sweep, RunResult, Table, PROXY_SCALE_POINTS};
+
+/// Runs one organization across the paper's proxy scale points.
+///
+/// `browser_sizing_for` maps each scale fraction to the browser sizing rule
+/// (Fig. 2 uses `Minimum`; Figs. 4–7 scale browser caches with the same
+/// fraction of the average infinite browser cache).
+pub fn sweep_org(
+    trace: &Trace,
+    stats: &TraceStats,
+    org: Organization,
+    browser_sizing_for: impl Fn(f64) -> BrowserSizing,
+) -> Vec<RunResult> {
+    let configs: Vec<SystemConfig> = PROXY_SCALE_POINTS
+        .iter()
+        .map(|&frac| {
+            let mut cfg = SystemConfig::paper_default(
+                org,
+                ((stats.infinite_cache_bytes as f64 * frac).round() as u64).max(1),
+            );
+            cfg.browser_sizing = browser_sizing_for(frac);
+            cfg
+        })
+        .collect();
+    run_sweep(trace, stats, &configs, &LatencyParams::paper())
+}
+
+/// Renders the two-organization comparison used by Figs. 4–7: hit ratios
+/// and byte hit ratios of browsers-aware vs proxy-and-local-browser at each
+/// proxy scale point, with browser caches scaled by the same fraction of
+/// the average infinite browser cache ("average" sizing).
+pub fn print_two_org_figure(profile: Profile, cli: Cli, figure: &str) {
+    banner(&format!(
+        "{figure}: {} — browsers-aware vs proxy-and-local-browser (avg browser cache)",
+        profile.name()
+    ));
+    let (trace, stats) = load_profile(profile, cli);
+    let sizing = BrowserSizing::FractionOfClientInfinite;
+    let baps = sweep_org(&trace, &stats, Organization::BrowsersAware, sizing);
+    let plb = sweep_org(&trace, &stats, Organization::ProxyAndLocalBrowser, |f| {
+        sizing(f)
+    });
+
+    let header: Vec<String> = std::iter::once("series".to_owned())
+        .chain(PROXY_SCALE_POINTS.iter().map(|f| format!("{}%", f * 100.0)))
+        .collect();
+    let mut hr = Table::new(header.clone());
+    let mut bhr = Table::new(header);
+    let row = |label: &str, results: &[RunResult], byte: bool| -> Vec<String> {
+        std::iter::once(label.to_owned())
+            .chain(results.iter().map(|r| {
+                pct(if byte {
+                    r.byte_hit_ratio()
+                } else {
+                    r.hit_ratio()
+                })
+            }))
+            .collect()
+    };
+    hr.row(row("browsers-aware-proxy-server", &baps, false));
+    hr.row(row("proxy-and-local-browser", &plb, false));
+    bhr.row(row("browsers-aware-proxy-server", &baps, true));
+    bhr.row(row("proxy-and-local-browser", &plb, true));
+
+    if cli.csv {
+        println!("# hit ratios (%)\n{}", hr.to_csv());
+        println!("# byte hit ratios (%)\n{}", bhr.to_csv());
+    } else {
+        println!("Hit ratios (%) by proxy cache size (% of infinite cache):");
+        print!("{}", hr.render());
+        println!("\nByte hit ratios (%):");
+        print!("{}", bhr.render());
+    }
+    let max_hr_gain = baps
+        .iter()
+        .zip(&plb)
+        .map(|(a, b)| a.hit_ratio() - b.hit_ratio())
+        .fold(f64::MIN, f64::max);
+    let max_bhr_gain = baps
+        .iter()
+        .zip(&plb)
+        .map(|(a, b)| a.byte_hit_ratio() - b.byte_hit_ratio())
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nmax gain of browsers-aware over proxy-and-local-browser: \
+         +{:.2} points hit ratio, +{:.2} points byte hit ratio",
+        max_hr_gain, max_bhr_gain
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_profile_scales() {
+        let cli = Cli {
+            scale: 0.02,
+            csv: false,
+        };
+        let (trace, stats) = load_profile(Profile::NlanrUc, cli);
+        assert!(trace.len() > 1_000);
+        assert_eq!(stats.requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn anchor_formats() {
+        assert_eq!(anchor(14.8, true), "14.80");
+        assert_eq!(anchor(33.0, false), "~33");
+    }
+}

@@ -1,0 +1,26 @@
+//! # baps-cache — cache substrate for the Browsers-Aware Proxy Server
+//!
+//! Byte-capacity document caches used by both the trace-driven simulator
+//! and the live proxy:
+//!
+//! * [`ByteLru`] — O(1) LRU over a slab-backed intrusive list (the paper's
+//!   replacement policy);
+//! * [`RankedCache`] / [`AnyCache`] — LFU, GDSF, SIZE and FIFO policies for
+//!   the replacement-policy ablation benches;
+//! * [`TieredLru`] — memory + disk two-tier model behind the paper's
+//!   *memory byte hit ratio* experiment (§4.2);
+//! * [`CacheStats`] — hit/byte/memory accounting.
+
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod policy;
+pub mod slablist;
+pub mod stats;
+pub mod tiered;
+
+pub use lru::{ByteLru, InsertOutcome};
+pub use policy::{AnyCache, DocCache, Policy, RankedCache};
+pub use slablist::{Handle, SlabList};
+pub use stats::CacheStats;
+pub use tiered::{Tier, TieredLru};

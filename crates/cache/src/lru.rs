@@ -1,0 +1,270 @@
+//! Byte-capacity LRU cache, the replacement policy the paper simulates.
+//!
+//! Entries are whole Web documents: each has a key and a byte size, and the
+//! cache holds at most `capacity` bytes. All operations are O(1) expected.
+//! Documents larger than the whole cache are not admitted (standard Web
+//! cache behaviour; admitting them would flush the entire cache for an
+//! object that can never be reused before eviction).
+
+use crate::slablist::{Handle, SlabList};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Result of an [`ByteLru::insert`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome<K> {
+    /// Whether the object was admitted to the cache.
+    pub admitted: bool,
+    /// Entries evicted to make room, in eviction (LRU-first) order.
+    pub evicted: Vec<(K, u64)>,
+}
+
+impl<K> InsertOutcome<K> {
+    fn rejected() -> Self {
+        InsertOutcome {
+            admitted: false,
+            evicted: Vec::new(),
+        }
+    }
+}
+
+/// An LRU cache bounded by total bytes rather than entry count.
+#[derive(Debug, Clone)]
+pub struct ByteLru<K: Hash + Eq + Copy> {
+    map: HashMap<K, Handle>,
+    list: SlabList<(K, u64)>,
+    capacity: u64,
+    used: u64,
+}
+
+impl<K: Hash + Eq + Copy> ByteLru<K> {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        ByteLru {
+            map: HashMap::new(),
+            list: SlabList::new(),
+            capacity,
+            used: 0,
+        }
+    }
+
+    /// The byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is cached (does not promote).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Size of the cached copy of `key`, if present (does not promote).
+    pub fn size_of(&self, key: &K) -> Option<u64> {
+        self.map
+            .get(key)
+            .map(|&h| self.list.get(h).expect("map/list in sync").1)
+    }
+
+    /// Looks `key` up and promotes it to most-recently-used on a hit.
+    /// Returns the cached size.
+    pub fn touch(&mut self, key: &K) -> Option<u64> {
+        let &h = self.map.get(key)?;
+        self.list.move_to_front(h);
+        Some(self.list.get(h).expect("map/list in sync").1)
+    }
+
+    /// Inserts (or refreshes) `key` with `size` bytes, evicting LRU entries
+    /// as needed. An existing entry with the same key is replaced (its size
+    /// updated) and promoted.
+    pub fn insert(&mut self, key: K, size: u64) -> InsertOutcome<K> {
+        if size > self.capacity {
+            // Remove a stale smaller copy if present: the document now
+            // exceeds the cache entirely.
+            self.remove(&key);
+            return InsertOutcome::rejected();
+        }
+        // Replace an existing copy first so its bytes are reclaimed.
+        self.remove(&key);
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let (victim, vsize) = self.list.pop_back().expect("used > 0 implies entries");
+            self.map.remove(&victim);
+            self.used -= vsize;
+            evicted.push((victim, vsize));
+        }
+        let h = self.list.push_front((key, size));
+        self.map.insert(key, h);
+        self.used += size;
+        InsertOutcome {
+            admitted: true,
+            evicted,
+        }
+    }
+
+    /// Removes `key`; returns its size if it was cached.
+    pub fn remove(&mut self, key: &K) -> Option<u64> {
+        let h = self.map.remove(key)?;
+        let (_, size) = self.list.remove(h);
+        self.used -= size;
+        Some(size)
+    }
+
+    /// Evicts and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, u64)> {
+        let (key, size) = self.list.pop_back()?;
+        self.map.remove(&key);
+        self.used -= size;
+        Some((key, size))
+    }
+
+    /// Iterates entries most-recent first.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.list.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_hit() {
+        let mut c = ByteLru::new(100);
+        assert!(c.insert("a", 40).admitted);
+        assert_eq!(c.touch(&"a"), Some(40));
+        assert_eq!(c.touch(&"b"), None);
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        c.insert("b", 40);
+        let out = c.insert("c", 40); // must evict "a"
+        assert_eq!(out.evicted, vec![("a", 40)]);
+        assert!(!c.contains(&"a"));
+        assert!(c.contains(&"b"));
+        assert_eq!(c.used(), 80);
+    }
+
+    #[test]
+    fn touch_promotes_against_eviction() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        c.insert("b", 40);
+        c.touch(&"a"); // now "b" is LRU
+        let out = c.insert("c", 40);
+        assert_eq!(out.evicted, vec![("b", 40)]);
+        assert!(c.contains(&"a"));
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        let out = c.insert("big", 101);
+        assert!(!out.admitted);
+        assert!(out.evicted.is_empty());
+        // Cache undisturbed.
+        assert!(c.contains(&"a"));
+    }
+
+    #[test]
+    fn oversized_update_purges_stale_copy() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        let out = c.insert("a", 200); // "a" grew past the cache
+        assert!(!out.admitted);
+        assert!(!c.contains(&"a"));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        c.insert("a", 70);
+        assert_eq!(c.used(), 70);
+        assert_eq!(c.size_of(&"a"), Some(70));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn exact_fit_evicts_everything_needed() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 30);
+        c.insert("b", 30);
+        c.insert("c", 30);
+        let out = c.insert("d", 100);
+        assert!(out.admitted);
+        assert_eq!(out.evicted.len(), 3);
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 60);
+        assert_eq!(c.remove(&"a"), Some(60));
+        assert_eq!(c.remove(&"a"), None);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn pop_lru_drains_in_order() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 10);
+        c.insert("b", 10);
+        c.touch(&"a");
+        assert_eq!(c.pop_lru(), Some(("b", 10)));
+        assert_eq!(c.pop_lru(), Some(("a", 10)));
+        assert_eq!(c.pop_lru(), None);
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 10);
+        c.insert("b", 10);
+        c.insert("c", 10);
+        c.touch(&"a");
+        let keys: Vec<&str> = c.iter_mru().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "c", "b"]);
+    }
+
+    #[test]
+    fn size_of_does_not_promote() {
+        let mut c = ByteLru::new(100);
+        c.insert("a", 40);
+        c.insert("b", 40);
+        assert_eq!(c.size_of(&"a"), Some(40));
+        // "a" is still LRU.
+        let out = c.insert("c", 40);
+        assert_eq!(out.evicted, vec![("a", 40)]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c: ByteLru<u32> = ByteLru::new(0);
+        assert!(!c.insert(1, 1).admitted);
+        assert!(c.is_empty());
+    }
+}

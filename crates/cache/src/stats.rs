@@ -1,0 +1,141 @@
+//! Cache access statistics.
+
+use crate::tiered::Tier;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated while driving a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests that hit.
+    pub hits: u64,
+    /// Requests that missed.
+    pub misses: u64,
+    /// Bytes served from the cache.
+    pub hit_bytes: u64,
+    /// Bytes that had to be fetched elsewhere.
+    pub miss_bytes: u64,
+    /// Hits served from the memory tier (if tiered).
+    pub mem_hits: u64,
+    /// Bytes served from the memory tier (if tiered).
+    pub mem_hit_bytes: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Records a hit of `size` bytes served by `tier`.
+    pub fn record_hit(&mut self, size: u64, tier: Tier) {
+        self.hits += 1;
+        self.hit_bytes += size;
+        if tier == Tier::Memory {
+            self.mem_hits += 1;
+            self.mem_hit_bytes += size;
+        }
+    }
+
+    /// Records a miss of `size` bytes.
+    pub fn record_miss(&mut self, size: u64) {
+        self.misses += 1;
+        self.miss_bytes += size;
+    }
+
+    /// Records an insertion and its evictions.
+    pub fn record_insert(&mut self, evicted: &[(impl Sized, u64)]) {
+        self.inserts += 1;
+        self.evictions += evicted.len() as u64;
+        self.evicted_bytes += evicted.iter().map(|(_, s)| *s).sum::<u64>();
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in percent.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.requests())
+    }
+
+    /// Byte hit ratio in percent.
+    pub fn byte_hit_ratio(&self) -> f64 {
+        ratio(self.hit_bytes, self.hit_bytes + self.miss_bytes)
+    }
+
+    /// Memory byte hit ratio in percent (memory-served bytes over all
+    /// requested bytes).
+    pub fn mem_byte_hit_ratio(&self) -> f64 {
+        ratio(self.mem_hit_bytes, self.hit_bytes + self.miss_bytes)
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.hit_bytes += other.hit_bytes;
+        self.miss_bytes += other.miss_bytes;
+        self.mem_hits += other.mem_hits;
+        self.mem_hit_bytes += other.mem_hit_bytes;
+        self.evictions += other.evictions;
+        self.evicted_bytes += other.evicted_bytes;
+        self.inserts += other.inserts;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        s.record_hit(100, Tier::Memory);
+        s.record_hit(300, Tier::Disk);
+        s.record_miss(600);
+        assert_eq!(s.requests(), 3);
+        assert!((s.hit_ratio() - 66.6667).abs() < 0.01);
+        assert!((s.byte_hit_ratio() - 40.0).abs() < 1e-9);
+        assert!((s.mem_byte_hit_ratio() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.byte_hit_ratio(), 0.0);
+        assert_eq!(s.mem_byte_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn insert_records_evictions() {
+        let mut s = CacheStats::default();
+        s.record_insert(&[((), 10u64), ((), 20u64)]);
+        let empty: [((), u64); 0] = [];
+        s.record_insert(&empty);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.evicted_bytes, 30);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats::default();
+        a.record_hit(10, Tier::Memory);
+        let mut b = CacheStats::default();
+        b.record_miss(20);
+        a.merge(&b);
+        assert_eq!(a.requests(), 2);
+        assert_eq!(a.miss_bytes, 20);
+    }
+}

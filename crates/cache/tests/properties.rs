@@ -1,0 +1,172 @@
+//! Property-based tests of the cache substrate invariants.
+
+use baps_cache::{AnyCache, ByteLru, DocCache, Policy, TieredLru};
+use proptest::prelude::*;
+
+/// A randomly generated cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u16),
+    Insert(u16, u64),
+    Remove(u16),
+}
+
+fn op_strategy(max_size: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..64).prop_map(Op::Touch),
+        ((0u16..64), (1..=max_size)).prop_map(|(k, s)| Op::Insert(k, s)),
+        (0u16..64).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// Used bytes never exceed capacity, and used always equals the sum of
+    /// the sizes of the entries the cache reports as present.
+    #[test]
+    fn lru_capacity_invariant(
+        capacity in 1u64..2000,
+        ops in proptest::collection::vec(op_strategy(600), 0..300),
+    ) {
+        let mut c = ByteLru::new(capacity);
+        let mut shadow = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Touch(k) => {
+                    let hit = c.touch(&k);
+                    prop_assert_eq!(hit, shadow.get(&k).copied());
+                }
+                Op::Insert(k, s) => {
+                    let out = c.insert(k, s);
+                    if out.admitted {
+                        shadow.insert(k, s);
+                    } else {
+                        shadow.remove(&k);
+                    }
+                    for (victim, _) in &out.evicted {
+                        shadow.remove(victim);
+                    }
+                }
+                Op::Remove(k) => {
+                    let removed = c.remove(&k);
+                    prop_assert_eq!(removed, shadow.remove(&k));
+                }
+            }
+            prop_assert!(c.used() <= capacity);
+            let shadow_bytes: u64 = shadow.values().sum();
+            prop_assert_eq!(c.used(), shadow_bytes);
+            prop_assert_eq!(c.len(), shadow.len());
+        }
+    }
+
+    /// Recency order: replaying iter_mru from most to least recent, every
+    /// entry's last access must be no older than the next entry's.
+    #[test]
+    fn lru_eviction_is_least_recent(
+        ops in proptest::collection::vec(op_strategy(100), 1..200),
+    ) {
+        let mut c = ByteLru::new(300);
+        let mut last_access: std::collections::HashMap<u16, usize> = Default::default();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Touch(k) => {
+                    if c.touch(&k).is_some() {
+                        last_access.insert(k, i);
+                    }
+                }
+                Op::Insert(k, s) => {
+                    let out = c.insert(k, s);
+                    if out.admitted {
+                        last_access.insert(k, i);
+                    } else {
+                        last_access.remove(&k);
+                    }
+                    for (v, _) in out.evicted {
+                        last_access.remove(&v);
+                    }
+                }
+                Op::Remove(k) => {
+                    c.remove(&k);
+                    last_access.remove(&k);
+                }
+            }
+        }
+        let order: Vec<u16> = c.iter_mru().map(|(k, _)| k).collect();
+        for w in order.windows(2) {
+            prop_assert!(last_access[&w[0]] > last_access[&w[1]],
+                "MRU order violated: {:?}", order);
+        }
+    }
+
+    /// Every policy maintains the byte-capacity invariant and consistent
+    /// bookkeeping under arbitrary operation sequences.
+    #[test]
+    fn all_policies_capacity_invariant(
+        policy_idx in 0usize..5,
+        capacity in 1u64..1500,
+        ops in proptest::collection::vec(op_strategy(500), 0..250),
+    ) {
+        let policy = Policy::all()[policy_idx];
+        let mut c = AnyCache::new(policy, capacity);
+        let mut shadow = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Touch(k) => {
+                    let hit = c.touch(&k);
+                    prop_assert_eq!(hit, shadow.get(&k).copied());
+                }
+                Op::Insert(k, s) => {
+                    let out = c.insert(k, s);
+                    if out.admitted {
+                        shadow.insert(k, s);
+                    } else {
+                        shadow.remove(&k);
+                    }
+                    for (victim, _) in &out.evicted {
+                        shadow.remove(victim);
+                    }
+                }
+                Op::Remove(k) => {
+                    let removed = c.remove(&k);
+                    prop_assert_eq!(removed, shadow.remove(&k));
+                }
+            }
+            prop_assert!(c.used() <= capacity, "{:?} exceeded capacity", policy);
+            prop_assert_eq!(c.used(), shadow.values().sum::<u64>());
+            prop_assert_eq!(c.len(), shadow.len());
+        }
+    }
+
+    /// A tiered LRU holds exactly the same entries, in the same global
+    /// recency order, as a flat LRU of the combined capacity — including
+    /// objects larger than the memory tier.
+    #[test]
+    fn tiered_equals_flat_lru(
+        mem in 50u64..300,
+        disk in 0u64..1200,
+        ops in proptest::collection::vec(op_strategy(500), 0..300),
+    ) {
+        let mut tiered = TieredLru::new(mem, disk);
+        let mut flat = ByteLru::new(mem + disk);
+        for op in ops {
+            match op {
+                Op::Touch(k) => {
+                    let t = tiered.touch(&k).map(|(s, _)| s);
+                    let f = flat.touch(&k);
+                    prop_assert_eq!(t, f);
+                }
+                Op::Insert(k, s) => {
+                    let to = tiered.insert(k, s);
+                    let fo = flat.insert(k, s);
+                    prop_assert_eq!(to.admitted, fo.admitted);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tiered.remove(k), flat.remove(&k));
+                }
+            }
+            prop_assert_eq!(tiered.used(), flat.used());
+        }
+        let t: Vec<(u16, u64)> = tiered.iter_mru().collect();
+        let f: Vec<(u16, u64)> = flat.iter_mru().collect();
+        prop_assert_eq!(t, f);
+    }
+}

@@ -1,0 +1,26 @@
+//! # baps-core — Browsers-Aware Proxy Server core types
+//!
+//! The shared vocabulary of the BAPS reproduction:
+//!
+//! * [`Organization`] — the five caching organizations of the paper's §3.2;
+//! * [`SystemConfig`] / [`BrowserSizing`] / [`RemoteHitCaching`] — system
+//!   configuration, including the paper's browser-cache sizing rules
+//!   (*minimum* = proxy/n, *average* = k·proxy/n);
+//! * [`HitClass`] / [`Outcome`] — request classification (local browser /
+//!   proxy / remote browser / miss);
+//! * [`LatencyParams`] — the analytic latency model of §4.2/§5.
+//!
+//! The trace-driven simulator (`baps-sim`) and the live proxy (`baps-proxy`)
+//! are both built on these types.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hit;
+pub mod latency;
+pub mod org;
+
+pub use config::{BrowserSizing, RemoteHitCaching, SystemConfig};
+pub use hit::{HitClass, Outcome};
+pub use latency::LatencyParams;
+pub use org::Organization;

@@ -1,0 +1,57 @@
+//! Index access/traffic statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by an index implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Lookup operations performed.
+    pub lookups: u64,
+    /// Lookups that returned at least one candidate holder.
+    pub index_hits: u64,
+    /// Update operations applied (stores + evictions).
+    pub updates: u64,
+    /// Update messages actually transmitted browser → proxy (delayed
+    /// models batch several updates per message).
+    pub messages: u64,
+    /// Bytes of update traffic (16-byte signature per entry, paper §5).
+    pub update_bytes: u64,
+    /// Batch flushes performed (delayed/summary models).
+    pub flushes: u64,
+}
+
+impl IndexStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.lookups += other.lookups;
+        self.index_hits += other.index_hits;
+        self.updates += other.updates;
+        self.messages += other.messages;
+        self.update_bytes += other.update_bytes;
+        self.flushes += other.flushes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IndexStats {
+            lookups: 1,
+            index_hits: 1,
+            updates: 2,
+            messages: 1,
+            update_bytes: 16,
+            flushes: 0,
+        };
+        let b = IndexStats {
+            lookups: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lookups, 4);
+        assert_eq!(a.updates, 2);
+    }
+}

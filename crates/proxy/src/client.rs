@@ -1,0 +1,406 @@
+//! A client agent: a browser cache, a peer-serving port, and the fetch
+//! logic with end-to-end integrity verification.
+
+use crate::error::ProxyError;
+use crate::protocol::{read_message, response, response_code, status, write_message, Message};
+use crate::store::{BodyCache, CachedDoc};
+use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a requester waits for a direct peer delivery before falling
+/// back to a peer-bypassing refetch.
+const DELIVERY_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Where a fetched document came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The client's own browser cache.
+    LocalBrowser,
+    /// The proxy cache.
+    Proxy,
+    /// Another client's browser cache (mediated by the proxy).
+    Peer,
+    /// The origin server.
+    Origin,
+}
+
+/// A successful fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchResult {
+    /// The document body.
+    pub body: Vec<u8>,
+    /// Where it was served from.
+    pub source: Source,
+}
+
+struct ClientState {
+    cache: Mutex<BodyCache>,
+    /// Direct deliveries awaiting pickup, keyed by transaction id.
+    deliveries: Mutex<HashMap<u64, CachedDoc>>,
+    delivered: Condvar,
+    /// Test hook: serve corrupted bodies to peers (a malicious client).
+    tamper: AtomicBool,
+    peer_serves: AtomicU64,
+}
+
+/// A running client agent.
+pub struct ClientAgent {
+    id: u32,
+    proxy_addr: SocketAddr,
+    proxy_key: PublicKey,
+    state: Arc<ClientState>,
+    peer_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ClientAgent {
+    /// Starts the agent: binds a peer-serving port, registers with the
+    /// proxy, and is then ready to [`ClientAgent::fetch`].
+    pub fn start(
+        id: u32,
+        proxy_addr: SocketAddr,
+        proxy_key: PublicKey,
+        browser_capacity: u64,
+    ) -> Result<ClientAgent, ProxyError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let peer_addr = listener.local_addr()?;
+        let state = Arc::new(ClientState {
+            cache: Mutex::new(BodyCache::new(browser_capacity)),
+            deliveries: Mutex::new(HashMap::new()),
+            delivered: Condvar::new(),
+            tamper: AtomicBool::new(false),
+            peer_serves: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("baps-client-{id}"))
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || {
+                            let _ = serve_peer(stream, &state);
+                        });
+                    }
+                })?
+        };
+        let agent = ClientAgent {
+            id,
+            proxy_addr,
+            proxy_key,
+            state,
+            peer_addr,
+            shutdown,
+            handle: Some(handle),
+        };
+        agent.register()?;
+        Ok(agent)
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The peer-serving address (for diagnostics).
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer_addr
+    }
+
+    /// How many PEERGETs this client has served.
+    pub fn peer_serves(&self) -> u64 {
+        self.state.peer_serves.load(Ordering::Relaxed)
+    }
+
+    /// Bytes in the browser cache.
+    pub fn cache_used(&self) -> u64 {
+        self.state.cache.lock().used()
+    }
+
+    /// Test hook: make this client serve corrupted bodies to its peers.
+    pub fn set_tamper(&self, tamper: bool) {
+        self.state.tamper.store(tamper, Ordering::Release);
+    }
+
+    fn register(&self) -> Result<(), ProxyError> {
+        let reply = self.roundtrip(
+            Message::new(format!("REGISTER {} BAPS/1.0", self.peer_addr.port()))
+                .header("Client", self.id.to_string()),
+        )?;
+        if response_code(&reply) != Some(status::OK) {
+            return Err(ProxyError::Protocol(format!(
+                "register rejected: {}",
+                reply.start
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fetches a document: browser cache, then the browsers-aware proxy.
+    /// Peer-served documents are integrity-verified against the proxy's
+    /// watermark; on a failed check the request is retried once with
+    /// `Bypass-Peers` so a tampering peer cannot poison the client.
+    pub fn fetch(&self, url: &str) -> Result<FetchResult, ProxyError> {
+        if let Some(doc) = self.state.cache.lock().get(url) {
+            return Ok(FetchResult {
+                body: doc.body.clone(),
+                source: Source::LocalBrowser,
+            });
+        }
+        match self.fetch_via_proxy(url, false) {
+            Err(ProxyError::Integrity(_)) | Err(ProxyError::DeliveryTimeout) => {
+                // A peer served tampered bytes or never delivered: bypass
+                // peers and retry.
+                self.fetch_via_proxy(url, true)
+            }
+            other => other,
+        }
+    }
+
+    /// Waits for a direct delivery with transaction id `txn`.
+    fn await_delivery(&self, txn: u64) -> Option<CachedDoc> {
+        let deadline = Instant::now() + DELIVERY_TIMEOUT;
+        let mut deliveries = self.state.deliveries.lock();
+        loop {
+            if let Some(doc) = deliveries.remove(&txn) {
+                return Some(doc);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.state
+                .delivered
+                .wait_for(&mut deliveries, deadline - now);
+        }
+    }
+
+    fn fetch_via_proxy(&self, url: &str, bypass: bool) -> Result<FetchResult, ProxyError> {
+        let mut req =
+            Message::new(format!("GET {url} BAPS/1.0")).header("Client", self.id.to_string());
+        if bypass {
+            req = req.header("Bypass-Peers", "1");
+        }
+        let reply = self.roundtrip(req)?;
+        match response_code(&reply) {
+            Some(status::OK) => {}
+            Some(status::NOT_FOUND) => return Err(ProxyError::NotFound(url.to_owned())),
+            other => {
+                return Err(ProxyError::Protocol(format!(
+                    "unexpected proxy response {other:?}: {}",
+                    reply.start
+                )))
+            }
+        }
+        let source = match reply.get("X-Source") {
+            Some("proxy") => Source::Proxy,
+            Some("peer") => Source::Peer,
+            Some("origin") => Source::Origin,
+            Some("peer-direct") => {
+                // Direct-forward mode: the body arrives out of band on our
+                // peer port; await it by transaction id.
+                let txn: u64 = reply
+                    .get("Txn")
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ProxyError::Protocol("peer-direct without txn".into()))?;
+                let doc = self
+                    .await_delivery(txn)
+                    .ok_or(ProxyError::DeliveryTimeout)?;
+                verify_document(&self.proxy_key, &doc.body, &doc.watermark)
+                    .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
+                let evicted = self.state.cache.lock().insert(url, doc.clone());
+                for victim in evicted {
+                    self.invalidate(&victim)?;
+                }
+                return Ok(FetchResult {
+                    body: doc.body,
+                    source: Source::Peer,
+                });
+            }
+            other => {
+                return Err(ProxyError::Protocol(format!("bad X-Source: {other:?}")))
+            }
+        };
+        let watermark = reply
+            .get("X-Watermark")
+            .ok_or_else(|| ProxyError::Protocol("missing watermark".into()))
+            .and_then(|h| Watermark::from_hex(h).map_err(ProxyError::Integrity))?;
+        verify_document(&self.proxy_key, &reply.body, &watermark)
+            .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
+
+        // Cache the verified copy; invalidate whatever we evicted.
+        let evicted = self.state.cache.lock().insert(
+            url,
+            CachedDoc {
+                body: reply.body.clone(),
+                watermark,
+            },
+        );
+        for victim in evicted {
+            self.invalidate(&victim)?;
+        }
+        Ok(FetchResult {
+            body: reply.body,
+            source,
+        })
+    }
+
+    /// Tells the proxy this client no longer caches `url`.
+    fn invalidate(&self, url: &str) -> Result<(), ProxyError> {
+        let reply = self.roundtrip(
+            Message::new(format!("INVALIDATE {url} BAPS/1.0"))
+                .header("Client", self.id.to_string()),
+        )?;
+        if response_code(&reply) != Some(status::OK) {
+            return Err(ProxyError::Protocol("invalidate rejected".into()));
+        }
+        Ok(())
+    }
+
+    /// Evicts `url` locally and notifies the proxy (models the user
+    /// clearing cache entries).
+    pub fn evict(&self, url: &str) -> Result<bool, ProxyError> {
+        let present = self.state.cache.lock().remove(url);
+        if present {
+            self.invalidate(url)?;
+        }
+        Ok(present)
+    }
+
+    fn roundtrip(&self, msg: Message) -> Result<Message, ProxyError> {
+        let stream = TcpStream::connect(self.proxy_addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        write_message(&mut writer, &msg)?;
+        read_message(&mut reader)?
+            .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()))
+    }
+
+    /// Stops the peer-serving thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.peer_addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClientAgent {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves PEERGET requests from this client's browser cache. The request
+/// carries only a transaction id — the peer never learns who is asking.
+fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(msg) = read_message(&mut reader)? {
+        let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
+        let reply = match tokens.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+            ["PEERGET", url, "BAPS/1.0"] => match state.cache.lock().get(url) {
+                Some(doc) => {
+                    state.peer_serves.fetch_add(1, Ordering::Relaxed);
+                    let mut body = doc.body.clone();
+                    if state.tamper.load(Ordering::Acquire) && !body.is_empty() {
+                        body[0] ^= 0xff;
+                    }
+                    response(status::OK, "OK")
+                        .header("X-Watermark", doc.watermark.to_hex())
+                        .with_body(body)
+                }
+                None => response(status::GONE, "Gone"),
+            },
+            ["PUSH", url, "BAPS/1.0"] => {
+                // Direct-forward order from the proxy: push the document to
+                // the requester's delivery address before acknowledging.
+                let txn = msg.get("Txn").map(str::to_owned);
+                let target = msg.get("Target").map(str::to_owned);
+                match (txn, target, state.cache.lock().get(url).cloned()) {
+                    (Some(txn), Some(target), Some(doc)) => {
+                        state.peer_serves.fetch_add(1, Ordering::Relaxed);
+                        let mut body = doc.body.clone();
+                        if state.tamper.load(Ordering::Acquire) && !body.is_empty() {
+                            body[0] ^= 0xff;
+                        }
+                        match deliver_to(&target, url, &txn, &doc.watermark, body) {
+                            Ok(()) => response(status::OK, "OK"),
+                            Err(_) => response(status::GONE, "Delivery Failed"),
+                        }
+                    }
+                    (_, _, None) => response(status::GONE, "Gone"),
+                    _ => response(status::BAD_REQUEST, "Bad Request"),
+                }
+            }
+            ["DELIVER", _url, "BAPS/1.0"] => {
+                // Incoming direct delivery for one of our own requests.
+                let parsed = msg
+                    .get("Txn")
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .zip(msg.get("X-Watermark").and_then(|h| Watermark::from_hex(h).ok()));
+                match parsed {
+                    Some((txn, watermark)) => {
+                        state.deliveries.lock().insert(
+                            txn,
+                            CachedDoc {
+                                body: msg.body.clone(),
+                                watermark,
+                            },
+                        );
+                        state.delivered.notify_all();
+                        response(status::OK, "OK")
+                    }
+                    None => response(status::BAD_REQUEST, "Bad Request"),
+                }
+            }
+            _ => response(status::BAD_REQUEST, "Bad Request"),
+        };
+        write_message(&mut writer, &reply)?;
+    }
+    Ok(())
+}
+
+/// Connects to a requester's delivery address and pushes the document.
+fn deliver_to(
+    target: &str,
+    url: &str,
+    txn: &str,
+    watermark: &baps_crypto::Watermark,
+    body: Vec<u8>,
+) -> io::Result<()> {
+    let addr: SocketAddr = target
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad target: {e}")))?;
+    let stream = TcpStream::connect_timeout(&addr, DELIVERY_TIMEOUT)?;
+    stream.set_write_timeout(Some(DELIVERY_TIMEOUT))?;
+    let mut writer = stream;
+    write_message(
+        &mut writer,
+        &Message::new(format!("DELIVER {url} BAPS/1.0"))
+            .header("Txn", txn)
+            .header("X-Watermark", watermark.to_hex())
+            .with_body(body),
+    )
+}

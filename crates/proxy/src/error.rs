@@ -1,0 +1,67 @@
+//! Error type of the live proxy components.
+
+use baps_crypto::CryptoError;
+use std::fmt;
+use std::io;
+
+/// Failures surfaced by the live proxy, clients and origin.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer spoke the protocol incorrectly.
+    Protocol(String),
+    /// The document was not found at the origin.
+    NotFound(String),
+    /// Integrity verification failed even after bypassing peers.
+    Integrity(CryptoError),
+    /// A direct peer delivery never arrived within the timeout.
+    DeliveryTimeout,
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Io(e) => write!(f, "io error: {e}"),
+            ProxyError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ProxyError::NotFound(url) => write!(f, "document not found: {url}"),
+            ProxyError::Integrity(e) => write!(f, "integrity failure: {e}"),
+            ProxyError::DeliveryTimeout => write!(f, "direct peer delivery timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProxyError::Io(e) => Some(e),
+            ProxyError::Integrity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProxyError {
+    fn from(e: io::Error) -> Self {
+        ProxyError::Io(e)
+    }
+}
+
+impl From<CryptoError> for ProxyError {
+    fn from(e: CryptoError) -> Self {
+        ProxyError::Integrity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProxyError::NotFound("u".into()).to_string().contains("u"));
+        assert!(ProxyError::Protocol("bad".into()).to_string().contains("bad"));
+        let io_err: ProxyError = io::Error::other("boom").into();
+        assert!(io_err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # baps-proxy — the live browsers-aware proxy
+//!
+//! A working, threaded implementation of the paper's system over loopback
+//! TCP: an [`OriginServer`] serving a document corpus, a [`ProxyServer`]
+//! that maintains the browser index and mediates anonymous peer fetches,
+//! and [`ClientAgent`]s with LRU browser caches that serve `PEERGET`
+//! requests, send eviction invalidations, and verify the §6.1 digital
+//! watermark on every document they receive.
+//!
+//! The [`TestBed`] harness wires a full deployment onto ephemeral ports for
+//! the integration tests and the `live_proxy` example.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod origin;
+pub mod protocol;
+pub mod proxy;
+pub mod runtime;
+pub mod store;
+
+pub use client::{ClientAgent, FetchResult, Source};
+pub use error::ProxyError;
+pub use origin::OriginServer;
+pub use protocol::{read_message, response_code, write_message, Message};
+pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use runtime::{TestBed, TestBedConfig};
+pub use store::{BodyCache, CachedDoc, DocumentStore};

@@ -1,0 +1,213 @@
+//! The origin Web server: serves the document corpus over the wire
+//! protocol (`GET <url> ORIGIN/1.0`).
+
+use crate::protocol::{read_message, response, status, write_message, Message};
+use crate::store::DocumentStore;
+use parking_lot::RwLock;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running origin server.
+pub struct OriginServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    hits: Arc<AtomicU64>,
+    store: Arc<RwLock<DocumentStore>>,
+}
+
+impl OriginServer {
+    /// Starts the server on an ephemeral loopback port.
+    pub fn start(store: DocumentStore) -> io::Result<OriginServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hits = Arc::new(AtomicU64::new(0));
+        let store = Arc::new(RwLock::new(store));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let hits = Arc::clone(&hits);
+            let store = Arc::clone(&store);
+            std::thread::Builder::new()
+                .name("baps-origin".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let hits = Arc::clone(&hits);
+                        let store = Arc::clone(&store);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &store, &hits);
+                        });
+                    }
+                })?
+        };
+        Ok(OriginServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            hits,
+            store,
+        })
+    }
+
+    /// The address clients/proxies should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of successful document fetches served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Mutates a stored document (models a changed Web page).
+    pub fn mutate(&self, url: &str, body: Vec<u8>) -> bool {
+        self.store.write().mutate(url, body)
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OriginServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    store: &RwLock<DocumentStore>,
+    hits: &AtomicU64,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(msg) = read_message(&mut reader)? {
+        let reply = handle_request(&msg, store, hits);
+        write_message(&mut writer, &reply)?;
+    }
+    Ok(())
+}
+
+fn handle_request(msg: &Message, store: &RwLock<DocumentStore>, hits: &AtomicU64) -> Message {
+    let tokens = msg.tokens();
+    match tokens.as_slice() {
+        ["GET", url, "ORIGIN/1.0"] => match store.read().get(url) {
+            Some(body) => {
+                hits.fetch_add(1, Ordering::Relaxed);
+                response(status::OK, "OK")
+                    .header("X-Source", "origin")
+                    .with_body(body.to_vec())
+            }
+            None => response(status::NOT_FOUND, "Not Found"),
+        },
+        _ => response(status::BAD_REQUEST, "Bad Request"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::response_code;
+    use std::io::BufReader;
+
+    fn fetch(addr: SocketAddr, url: &str) -> Message {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_message(
+            &mut writer,
+            &Message::new(format!("GET {url} ORIGIN/1.0")),
+        )
+        .unwrap();
+        read_message(&mut reader).unwrap().unwrap()
+    }
+
+    #[test]
+    fn serves_documents() {
+        let store = DocumentStore::synthetic(3, 50, 100, 1);
+        let expect = store.get("http://origin/doc/1").unwrap().to_vec();
+        let server = OriginServer::start(store).unwrap();
+        let reply = fetch(server.addr(), "http://origin/doc/1");
+        assert_eq!(response_code(&reply), Some(200));
+        assert_eq!(reply.body, expect);
+        assert_eq!(server.hits(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_document_404s() {
+        let server = OriginServer::start(DocumentStore::synthetic(1, 10, 20, 2)).unwrap();
+        let reply = fetch(server.addr(), "http://nowhere/x");
+        assert_eq!(response_code(&reply), Some(404));
+        assert_eq!(server.hits(), 0);
+    }
+
+    #[test]
+    fn bad_request_400s() {
+        let server = OriginServer::start(DocumentStore::new()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_message(&mut writer, &Message::new("FROB x ORIGIN/1.0")).unwrap();
+        let reply = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(response_code(&reply), Some(400));
+    }
+
+    #[test]
+    fn mutate_changes_served_body() {
+        let server = OriginServer::start(DocumentStore::synthetic(1, 10, 20, 3)).unwrap();
+        assert!(server.mutate("http://origin/doc/0", b"new body".to_vec()));
+        let reply = fetch(server.addr(), "http://origin/doc/0");
+        assert_eq!(reply.body, b"new body");
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent() {
+        let server = OriginServer::start(DocumentStore::new()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // Connecting after shutdown either fails or is never served.
+        match TcpStream::connect(addr) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn concurrent_fetches() {
+        let store = DocumentStore::synthetic(8, 100, 200, 4);
+        let server = OriginServer::start(store).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let reply = fetch(addr, &format!("http://origin/doc/{i}"));
+                    assert_eq!(response_code(&reply), Some(200));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.hits(), 8);
+    }
+}

@@ -1,0 +1,273 @@
+//! Wire protocol of the live browsers-aware proxy.
+//!
+//! A minimal HTTP/1.0-flavoured text protocol: a start line, colon-separated
+//! headers, a blank line, then an optional body of `Content-Length` bytes.
+//! Methods:
+//!
+//! * `GET <url> BAPS/1.0` — client → proxy document fetch
+//!   (header `Client: <id>`; optional `Bypass-Peers: 1` after a failed
+//!   integrity check);
+//! * `PEERGET <url> BAPS/1.0` — proxy → peer browser-cache fetch
+//!   (header `Txn: <id>`; deliberately **no requester identity**, §6.2);
+//! * `PUSH <url> BAPS/1.0` — proxy → peer, *direct-forward mode* (paper
+//!   §2's first implementation alternative): instructs the peer to push
+//!   the document straight to the requester's delivery address
+//!   (headers `Txn: <id>`, `Target: <host:port>`);
+//! * `DELIVER <url> BAPS/1.0` — peer → requester direct delivery
+//!   (headers `Txn: <id>`, `X-Watermark`; body = document);
+//! * `INVALIDATE <url> BAPS/1.0` — client → proxy eviction notice
+//!   (header `Client: <id>`);
+//! * `REGISTER <peer-port> BAPS/1.0` — client → proxy enrolment
+//!   (header `Client: <id>`);
+//! * `GET <url> ORIGIN/1.0` — proxy → origin server fetch.
+//!
+//! Responses: `BAPS/1.0 <code> <reason>` with `Content-Length`, `X-Source`
+//! (`proxy` | `peer` | `origin`) and `X-Watermark` (hex, §6.1) headers.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header count (straightforward DoS hygiene).
+const MAX_HEADERS: usize = 64;
+/// Maximum accepted body size.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// A parsed protocol message (request or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The start line, e.g. `GET /doc BAPS/1.0` or `BAPS/1.0 200 OK`.
+    pub start: String,
+    /// Header name/value pairs in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    /// Creates a message with no headers and no body.
+    pub fn new(start: impl Into<String>) -> Message {
+        Message {
+            start: start.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Message {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Attaches a body (the `Content-Length` header is added on write).
+    pub fn with_body(mut self, body: Vec<u8>) -> Message {
+        self.body = body;
+        self
+    }
+
+    /// First value of a header (case-insensitive name match).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Splits the start line into whitespace-separated tokens.
+    pub fn tokens(&self) -> Vec<&str> {
+        self.start.split_ascii_whitespace().collect()
+    }
+}
+
+/// Writes a message (adding `Content-Length` when a body is present).
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let mut head = String::with_capacity(64 + msg.headers.len() * 32);
+    head.push_str(&msg.start);
+    head.push_str("\r\n");
+    for (name, value) in &msg.headers {
+        debug_assert!(!name.contains(':') || name.eq_ignore_ascii_case("host"));
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !msg.body.is_empty() || msg.get("Content-Length").is_none() {
+        head.push_str(&format!("Content-Length: {}\r\n", msg.body.len()));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&msg.body)?;
+    w.flush()
+}
+
+/// Reads one message; returns `None` on a cleanly closed connection.
+pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
+    let mut start = String::new();
+    if r.read_line(&mut start)? == 0 {
+        return Ok(None);
+    }
+    let start = start.trim_end().to_owned();
+    if start.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty start line"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "too many headers"));
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {line}"))
+        })?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+    let mut msg = Message {
+        start,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = msg.get("Content-Length") {
+        let len: usize = len
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad length: {e}")))?;
+        if len > MAX_BODY {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        msg.body = body;
+    }
+    Ok(Some(msg))
+}
+
+/// Response codes used by the protocol.
+pub mod status {
+    /// Success.
+    pub const OK: u16 = 200;
+    /// Document not found anywhere.
+    pub const NOT_FOUND: u16 = 404;
+    /// Peer no longer holds the document.
+    pub const GONE: u16 = 410;
+    /// Malformed request.
+    pub const BAD_REQUEST: u16 = 400;
+}
+
+/// Builds a response message with the given status code.
+pub fn response(code: u16, reason: &str) -> Message {
+    Message::new(format!("BAPS/1.0 {code} {reason}"))
+}
+
+/// Parses the status code out of a response start line.
+pub fn response_code(msg: &Message) -> Option<u16> {
+    let tokens = msg.tokens();
+    if tokens.len() < 2 || !tokens[0].starts_with("BAPS/") {
+        return None;
+    }
+    tokens[1].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        write_message(&mut buf, msg).unwrap();
+        read_message(&mut BufReader::new(Cursor::new(buf)))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let msg = Message::new("GET http://x/doc BAPS/1.0")
+            .header("Client", "3")
+            .header("Bypass-Peers", "1");
+        let back = roundtrip(&msg);
+        assert_eq!(back.start, msg.start);
+        assert_eq!(back.get("Client"), Some("3"));
+        assert_eq!(back.get("bypass-peers"), Some("1"));
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn response_with_body_roundtrip() {
+        let body = b"<html>doc body</html>".to_vec();
+        let msg = response(status::OK, "OK")
+            .header("X-Source", "peer")
+            .with_body(body.clone());
+        let back = roundtrip(&msg);
+        assert_eq!(response_code(&back), Some(200));
+        assert_eq!(back.get("X-Source"), Some("peer"));
+        assert_eq!(back.body, body);
+        assert_eq!(back.get("Content-Length"), Some("21"));
+    }
+
+    #[test]
+    fn empty_body_has_zero_length_header() {
+        let back = roundtrip(&response(status::GONE, "Gone"));
+        assert_eq!(back.get("Content-Length"), Some("0"));
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn closed_stream_yields_none() {
+        let mut r = BufReader::new(Cursor::new(Vec::<u8>::new()));
+        assert!(read_message(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let raw = b"GET x BAPS/1.0\r\nnocolonhere\r\n\r\n".to_vec();
+        let err = read_message(&mut BufReader::new(Cursor::new(raw))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let raw = b"BAPS/1.0 200 OK\r\nContent-Length: 10\r\n\r\nabc".to_vec();
+        let err = read_message(&mut BufReader::new(Cursor::new(raw))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_inside_headers_rejected() {
+        let raw = b"GET x BAPS/1.0\r\nClient: 1\r\n".to_vec();
+        let err = read_message(&mut BufReader::new(Cursor::new(raw))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn response_code_parsing() {
+        assert_eq!(response_code(&response(410, "Gone")), Some(410));
+        assert_eq!(response_code(&Message::new("GET x BAPS/1.0")), None);
+        assert_eq!(response_code(&Message::new("BAPS/1.0")), None);
+    }
+
+    #[test]
+    fn tokens_split() {
+        let m = Message::new("PEERGET http://a/b BAPS/1.0");
+        assert_eq!(m.tokens(), vec!["PEERGET", "http://a/b", "BAPS/1.0"]);
+    }
+
+    #[test]
+    fn pipelined_messages() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::new("GET a BAPS/1.0")).unwrap();
+        write_message(&mut buf, &Message::new("GET b BAPS/1.0")).unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        assert_eq!(read_message(&mut r).unwrap().unwrap().tokens()[1], "a");
+        assert_eq!(read_message(&mut r).unwrap().unwrap().tokens()[1], "b");
+        assert!(read_message(&mut r).unwrap().is_none());
+    }
+}

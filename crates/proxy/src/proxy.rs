@@ -1,0 +1,462 @@
+//! The live browsers-aware proxy server.
+//!
+//! Request path (paper §2): proxy cache → browser index → origin. On an
+//! index hit the proxy opens a `PEERGET` to the holding client's peer port,
+//! mediating the exchange so requester and server browser never learn each
+//! other's identity (§6.2). Every document first fetched from the origin is
+//! stamped with a digital watermark signed by the proxy (§6.1); watermarks
+//! travel with cached copies and are verified end to end.
+
+use crate::protocol::{read_message, response, response_code, status, write_message, Message};
+use crate::store::{BodyCache, CachedDoc};
+use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
+use baps_index::ExactIndex;
+use baps_trace::{ClientId, DocId, Interner};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum peer candidates probed per request.
+const MAX_PEER_PROBES: usize = 4;
+/// Dial/read timeout for peer probes, so one dead client cannot stall the
+/// proxy.
+const PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Proxy cache capacity in bytes.
+    pub cache_capacity: u64,
+    /// Address of the origin server.
+    pub origin_addr: SocketAddr,
+    /// Seed for the proxy's signing key pair.
+    pub key_seed: u64,
+    /// Whether the proxy absorbs peer-served documents into its own cache
+    /// (the paper's default is no; see `RemoteHitCaching`).
+    pub cache_peer_hits: bool,
+    /// Use the paper's *first* implementation alternative: on an index hit
+    /// the proxy instructs the holder to push the document **directly** to
+    /// the requester instead of relaying it through the proxy. Saves proxy
+    /// bandwidth, but the holder learns the requester's transport address
+    /// (the paper's companion anonymity protocols, HPL-2001-204, address
+    /// that; the relayed mode keeps full mutual anonymity).
+    pub direct_forward: bool,
+}
+
+/// Aggregate counters, readable while the proxy runs.
+#[derive(Debug, Default)]
+pub struct ProxyCounters {
+    /// GET requests handled.
+    pub requests: AtomicU64,
+    /// Served from the proxy cache.
+    pub proxy_hits: AtomicU64,
+    /// Served from a peer browser cache.
+    pub peer_hits: AtomicU64,
+    /// Fetched from the origin.
+    pub origin_fetches: AtomicU64,
+    /// INVALIDATE messages processed.
+    pub invalidations: AtomicU64,
+    /// Peer probes that failed (connection refused / GONE / bad reply).
+    pub peer_failures: AtomicU64,
+    /// Peer hits served by direct client-to-client pushes.
+    pub direct_pushes: AtomicU64,
+}
+
+/// Snapshot of [`ProxyCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// GET requests handled.
+    pub requests: u64,
+    /// Served from the proxy cache.
+    pub proxy_hits: u64,
+    /// Served from a peer browser cache.
+    pub peer_hits: u64,
+    /// Fetched from the origin.
+    pub origin_fetches: u64,
+    /// INVALIDATE messages processed.
+    pub invalidations: u64,
+    /// Failed peer probes.
+    pub peer_failures: u64,
+    /// Peer hits served by direct client-to-client pushes.
+    pub direct_pushes: u64,
+}
+
+struct ProxyState {
+    cache: Mutex<BodyCache>,
+    index: Mutex<ExactIndex>,
+    urls: Mutex<Interner>,
+    peers: Mutex<HashMap<u32, SocketAddr>>,
+    relay: Mutex<AnonymizingProxy>,
+    signer: ProxySigner,
+    counters: ProxyCounters,
+    config: ProxyConfig,
+}
+
+/// A running browsers-aware proxy.
+pub struct ProxyServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    state: Arc<ProxyState>,
+}
+
+impl ProxyServer {
+    /// Starts the proxy on an ephemeral loopback port.
+    pub fn start(config: ProxyConfig) -> io::Result<ProxyServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(config.key_seed));
+        let state = Arc::new(ProxyState {
+            cache: Mutex::new(BodyCache::new(config.cache_capacity)),
+            index: Mutex::new(ExactIndex::new()),
+            urls: Mutex::new(Interner::new()),
+            peers: Mutex::new(HashMap::new()),
+            relay: Mutex::new(AnonymizingProxy::new()),
+            signer,
+            counters: ProxyCounters::default(),
+            config,
+        });
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("baps-proxy".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &state);
+                        });
+                    }
+                })?
+        };
+        Ok(ProxyServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            state,
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The public key clients use to verify watermarks.
+    pub fn public_key(&self) -> PublicKey {
+        self.state.signer.public_key()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProxyStats {
+        let c = &self.state.counters;
+        ProxyStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            proxy_hits: c.proxy_hits.load(Ordering::Relaxed),
+            peer_hits: c.peer_hits.load(Ordering::Relaxed),
+            origin_fetches: c.origin_fetches.load(Ordering::Relaxed),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+            peer_failures: c.peer_failures.load(Ordering::Relaxed),
+            direct_pushes: c.direct_pushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current browser-index entry count.
+    pub fn index_entries(&self) -> u64 {
+        self.state.index.lock().entries()
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
+    let peer_ip = stream.peer_addr()?.ip();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(msg) = read_message(&mut reader)? {
+        let reply = dispatch(&msg, peer_ip, state);
+        if let Some(reply) = reply {
+            write_message(&mut writer, &reply)?;
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Option<Message> {
+    let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
+    let tokens: Vec<&str> = tokens.iter().map(String::as_str).collect();
+    match tokens.as_slice() {
+        ["GET", url, "BAPS/1.0"] => {
+            let client: u32 = msg.get("Client")?.parse().ok()?;
+            let bypass = msg.get("Bypass-Peers").is_some();
+            Some(handle_get(url, client, bypass, state))
+        }
+        ["INVALIDATE", url, "BAPS/1.0"] => {
+            let client: u32 = msg.get("Client")?.parse().ok()?;
+            handle_invalidate(url, client, state);
+            Some(response(status::OK, "OK"))
+        }
+        ["REGISTER", port, "BAPS/1.0"] => {
+            let client: u32 = msg.get("Client")?.parse().ok()?;
+            let port: u16 = port.parse().ok()?;
+            state
+                .peers
+                .lock()
+                .insert(client, SocketAddr::new(peer_ip, port));
+            Some(response(status::OK, "OK"))
+        }
+        _ => Some(response(status::BAD_REQUEST, "Bad Request")),
+    }
+}
+
+fn doc_id(state: &ProxyState, url: &str) -> DocId {
+    DocId(state.urls.lock().intern(url))
+}
+
+fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) -> Message {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let doc = doc_id(state, url);
+    let requester = ClientId(client);
+
+    // 1. Proxy cache.
+    if let Some(cached) = state.cache.lock().get(url).cloned() {
+        state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
+        // The client will cache what we send it (it invalidates on evict).
+        state.index.lock().on_store(requester, doc);
+        return ok_response("proxy", &cached);
+    }
+
+    // 2. Browser index -> peer browser caches.
+    if !bypass_peers {
+        let candidates = state.index.lock().lookup_all(doc, requester);
+        for peer in candidates.into_iter().take(MAX_PEER_PROBES) {
+            if state.config.direct_forward {
+                match order_direct_push(state, PeerId(client), peer, url) {
+                    Ok(txn) => {
+                        state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
+                        state.counters.direct_pushes.fetch_add(1, Ordering::Relaxed);
+                        state.index.lock().on_store(requester, doc);
+                        return response(status::OK, "OK")
+                            .header("X-Source", "peer-direct")
+                            .header("Txn", txn.to_string());
+                    }
+                    Err(_) => {
+                        state.counters.peer_failures.fetch_add(1, Ordering::Relaxed);
+                        state.index.lock().on_evict(peer, doc);
+                    }
+                }
+                continue;
+            }
+            match fetch_from_peer(state, PeerId(client), peer, url) {
+                Ok(cached) => {
+                    state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    if state.config.cache_peer_hits {
+                        state.cache.lock().insert(url, cached.clone());
+                    }
+                    state.index.lock().on_store(requester, doc);
+                    return ok_response("peer", &cached);
+                }
+                Err(_) => {
+                    // The index was stale (or the peer is gone): self-heal.
+                    state.counters.peer_failures.fetch_add(1, Ordering::Relaxed);
+                    state.index.lock().on_evict(peer, doc);
+                }
+            }
+        }
+    }
+
+    // 3. Origin server.
+    match fetch_from_origin(state, url) {
+        Ok(body) => {
+            state.counters.origin_fetches.fetch_add(1, Ordering::Relaxed);
+            let cached = CachedDoc {
+                watermark: state.signer.watermark(&body),
+                body,
+            };
+            state.cache.lock().insert(url, cached.clone());
+            state.index.lock().on_store(requester, doc);
+            ok_response("origin", &cached)
+        }
+        Err(OriginError::NotFound) => response(status::NOT_FOUND, "Not Found"),
+        Err(OriginError::Io(e)) => {
+            response(status::NOT_FOUND, &format!("Origin Unreachable ({})", e.kind()))
+        }
+    }
+}
+
+fn handle_invalidate(url: &str, client: u32, state: &ProxyState) {
+    state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+    let doc = doc_id(state, url);
+    state.index.lock().on_evict(ClientId(client), doc);
+}
+
+fn ok_response(source: &str, doc: &CachedDoc) -> Message {
+    response(status::OK, "OK")
+        .header("X-Source", source)
+        .header("X-Watermark", doc.watermark.to_hex())
+        .with_body(doc.body.clone())
+}
+
+/// Mediated peer fetch: the peer sees only a transaction id and the URL,
+/// never the requester's identity.
+fn fetch_from_peer(
+    state: &ProxyState,
+    requester: PeerId,
+    peer: ClientId,
+    url: &str,
+) -> Result<CachedDoc, io::Error> {
+    let addr = state
+        .peers
+        .lock()
+        .get(&peer.0)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer not registered"))?;
+    let order = state.relay.lock().begin(requester, url);
+    let result = (|| -> io::Result<CachedDoc> {
+        let stream = TcpStream::connect_timeout(&addr, PEER_TIMEOUT)?;
+        stream.set_read_timeout(Some(PEER_TIMEOUT))?;
+        stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        write_message(
+            &mut writer,
+            &Message::new(format!("PEERGET {url} BAPS/1.0"))
+                .header("Txn", order.txn.0.to_string()),
+        )?;
+        let reply = read_message(&mut reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
+        if response_code(&reply) != Some(status::OK) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "peer gone"));
+        }
+        let watermark = reply
+            .get("X-Watermark")
+            .and_then(|h| Watermark::from_hex(h).ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing watermark"))?;
+        Ok(CachedDoc {
+            body: reply.body,
+            watermark,
+        })
+    })();
+    match &result {
+        Ok(_) => {
+            // Close the transaction (delivery happens on the GET reply).
+            let _ = state.relay.lock().complete(baps_crypto::FetchReply {
+                txn: order.txn,
+                body: Vec::new(),
+                watermark: state.signer.watermark(b""),
+            });
+        }
+        Err(_) => {
+            let _ = state.relay.lock().abort(order.txn);
+        }
+    }
+    result
+}
+
+/// Direct-forward mode: orders `peer` to push `url` straight to the
+/// requester's registered delivery address. Returns the transaction id the
+/// requester should await. The push itself happens synchronously inside
+/// the peer before it acknowledges, so a 200 here means the delivery was
+/// already sent.
+fn order_direct_push(
+    state: &ProxyState,
+    requester: PeerId,
+    peer: ClientId,
+    url: &str,
+) -> Result<u64, io::Error> {
+    let peer_addr = state
+        .peers
+        .lock()
+        .get(&peer.0)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer not registered"))?;
+    let target_addr = state
+        .peers
+        .lock()
+        .get(&requester.0)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "requester not registered"))?;
+    let order = state.relay.lock().begin(requester, url);
+    let result = (|| -> io::Result<()> {
+        let stream = TcpStream::connect_timeout(&peer_addr, PEER_TIMEOUT)?;
+        stream.set_read_timeout(Some(PEER_TIMEOUT))?;
+        stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        write_message(
+            &mut writer,
+            &Message::new(format!("PUSH {url} BAPS/1.0"))
+                .header("Txn", order.txn.0.to_string())
+                .header("Target", target_addr.to_string()),
+        )?;
+        let reply = read_message(&mut reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
+        if response_code(&reply) != Some(status::OK) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "peer gone"));
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            let _ = state.relay.lock().abort(order.txn); // bookkeeping only
+            Ok(order.txn.0)
+        }
+        Err(e) => {
+            let _ = state.relay.lock().abort(order.txn);
+            Err(e)
+        }
+    }
+}
+
+enum OriginError {
+    NotFound,
+    Io(io::Error),
+}
+
+fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginError> {
+    let stream =
+        TcpStream::connect(state.config.origin_addr).map_err(OriginError::Io)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(OriginError::Io)?);
+    let mut writer = stream;
+    write_message(&mut writer, &Message::new(format!("GET {url} ORIGIN/1.0")))
+        .map_err(OriginError::Io)?;
+    let reply = read_message(&mut reader)
+        .map_err(OriginError::Io)?
+        .ok_or_else(|| OriginError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")))?;
+    match response_code(&reply) {
+        Some(status::OK) => Ok(reply.body),
+        _ => Err(OriginError::NotFound),
+    }
+}

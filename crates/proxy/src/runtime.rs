@@ -1,0 +1,79 @@
+//! Test-bed harness: origin + proxy + N client agents on loopback.
+
+use crate::client::ClientAgent;
+use crate::error::ProxyError;
+use crate::origin::OriginServer;
+use crate::proxy::{ProxyConfig, ProxyServer};
+use crate::store::DocumentStore;
+
+/// Configuration of a full loopback deployment.
+#[derive(Debug, Clone)]
+pub struct TestBedConfig {
+    /// Number of client agents.
+    pub n_clients: u32,
+    /// Proxy cache capacity, bytes.
+    pub proxy_capacity: u64,
+    /// Per-client browser cache capacity, bytes.
+    pub browser_capacity: u64,
+    /// Whether the proxy absorbs peer-served documents.
+    pub cache_peer_hits: bool,
+    /// Use direct client-to-client forwarding instead of proxy relay.
+    pub direct_forward: bool,
+    /// Seed for the proxy's key pair.
+    pub key_seed: u64,
+}
+
+impl Default for TestBedConfig {
+    fn default() -> Self {
+        TestBedConfig {
+            n_clients: 4,
+            proxy_capacity: 64 << 10,
+            browser_capacity: 32 << 10,
+            cache_peer_hits: false,
+            direct_forward: false,
+            key_seed: 0xbaf5,
+        }
+    }
+}
+
+/// A fully wired origin + proxy + clients deployment.
+pub struct TestBed {
+    /// The origin server.
+    pub origin: OriginServer,
+    /// The browsers-aware proxy.
+    pub proxy: ProxyServer,
+    /// The client agents.
+    pub clients: Vec<ClientAgent>,
+}
+
+impl TestBed {
+    /// Starts everything on ephemeral loopback ports.
+    pub fn start(store: DocumentStore, config: TestBedConfig) -> Result<TestBed, ProxyError> {
+        let origin = OriginServer::start(store)?;
+        let proxy = ProxyServer::start(ProxyConfig {
+            cache_capacity: config.proxy_capacity,
+            origin_addr: origin.addr(),
+            key_seed: config.key_seed,
+            cache_peer_hits: config.cache_peer_hits,
+            direct_forward: config.direct_forward,
+        })?;
+        let key = proxy.public_key();
+        let clients = (0..config.n_clients)
+            .map(|id| ClientAgent::start(id, proxy.addr(), key, config.browser_capacity))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TestBed {
+            origin,
+            proxy,
+            clients,
+        })
+    }
+
+    /// Shuts every component down (clients first).
+    pub fn shutdown(self) {
+        for client in self.clients {
+            client.shutdown();
+        }
+        self.proxy.shutdown();
+        self.origin.shutdown();
+    }
+}

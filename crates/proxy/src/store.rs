@@ -1,0 +1,261 @@
+//! Document bodies: the origin's corpus and the byte-budgeted body caches
+//! used by the live proxy and client agents.
+
+use baps_cache::ByteLru;
+use baps_crypto::Watermark;
+use baps_trace::Interner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The origin server's document corpus.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    docs: HashMap<String, Vec<u8>>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document.
+    pub fn insert(&mut self, url: impl Into<String>, body: Vec<u8>) {
+        self.docs.insert(url.into(), body);
+    }
+
+    /// Fetches a document body.
+    pub fn get(&self, url: &str) -> Option<&[u8]> {
+        self.docs.get(url).map(Vec::as_slice)
+    }
+
+    /// Mutates a document in place (tests document-change behaviour).
+    pub fn mutate(&mut self, url: &str, body: Vec<u8>) -> bool {
+        match self.docs.get_mut(url) {
+            Some(slot) => {
+                *slot = body;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// All URLs in unspecified order.
+    pub fn urls(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(String::as_str)
+    }
+
+    /// Generates `n` synthetic documents named `http://origin/doc/<i>` with
+    /// deterministic pseudo-random bodies between `min_size` and `max_size`
+    /// bytes.
+    pub fn synthetic(n: usize, min_size: usize, max_size: usize, seed: u64) -> DocumentStore {
+        assert!(min_size <= max_size && max_size > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = DocumentStore::new();
+        for i in 0..n {
+            let size = rng.gen_range(min_size..=max_size);
+            let mut body = vec![0u8; size];
+            rng.fill(body.as_mut_slice());
+            store.insert(format!("http://origin/doc/{i}"), body);
+        }
+        store
+    }
+}
+
+/// A cached document: its body plus the proxy-issued integrity watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedDoc {
+    /// Document body.
+    pub body: Vec<u8>,
+    /// §6.1 digital watermark.
+    pub watermark: Watermark,
+}
+
+/// Byte-budgeted LRU cache of document bodies, keyed by URL.
+#[derive(Debug)]
+pub struct BodyCache {
+    urls: Interner,
+    lru: ByteLru<u32>,
+    bodies: HashMap<u32, CachedDoc>,
+}
+
+impl BodyCache {
+    /// Creates a cache holding at most `capacity` body bytes.
+    pub fn new(capacity: u64) -> Self {
+        BodyCache {
+            urls: Interner::new(),
+            lru: ByteLru::new(capacity),
+            bodies: HashMap::new(),
+        }
+    }
+
+    /// Looks up `url`, promoting it on a hit.
+    pub fn get(&mut self, url: &str) -> Option<&CachedDoc> {
+        let id = self.urls.get(url)?;
+        self.lru.touch(&id)?;
+        self.bodies.get(&id)
+    }
+
+    /// Whether `url` is cached (no promotion).
+    pub fn contains(&self, url: &str) -> bool {
+        self.urls
+            .get(url)
+            .is_some_and(|id| self.lru.contains(&id))
+    }
+
+    /// Inserts a document; returns the URLs evicted to make room
+    /// (callers turn these into `INVALIDATE` messages). If the document is
+    /// too large to admit and a stale copy was purged, the URL itself is
+    /// included in the evicted list.
+    pub fn insert(&mut self, url: &str, doc: CachedDoc) -> Vec<String> {
+        let id = self.urls.intern(url);
+        let had_prior = self.lru.contains(&id);
+        let out = self.lru.insert(id, doc.body.len() as u64);
+        let mut evicted: Vec<String> = out
+            .evicted
+            .into_iter()
+            .map(|(victim, _)| {
+                self.bodies.remove(&victim);
+                self.urls
+                    .name(victim)
+                    .expect("interned id has a name")
+                    .to_owned()
+            })
+            .collect();
+        if out.admitted {
+            self.bodies.insert(id, doc);
+        } else {
+            self.bodies.remove(&id);
+            if had_prior {
+                evicted.push(url.to_owned());
+            }
+        }
+        evicted
+    }
+
+    /// Removes `url`; returns whether it was cached.
+    pub fn remove(&mut self, url: &str) -> bool {
+        match self.urls.get(url) {
+            Some(id) => {
+                let present = self.lru.remove(&id).is_some();
+                self.bodies.remove(&id);
+                present
+            }
+            None => false,
+        }
+    }
+
+    /// Bytes stored.
+    pub fn used(&self) -> u64 {
+        self.lru.used()
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baps_crypto::ProxySigner;
+
+    fn doc(signer: &ProxySigner, body: &[u8]) -> CachedDoc {
+        CachedDoc {
+            body: body.to_vec(),
+            watermark: signer.watermark(body),
+        }
+    }
+
+    fn signer() -> ProxySigner {
+        ProxySigner::generate(&mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn synthetic_store_deterministic() {
+        let a = DocumentStore::synthetic(10, 100, 1000, 7);
+        let b = DocumentStore::synthetic(10, 100, 1000, 7);
+        assert_eq!(a.len(), 10);
+        for url in a.urls() {
+            assert_eq!(a.get(url), b.get(url));
+            let len = a.get(url).unwrap().len();
+            assert!((100..=1000).contains(&len));
+        }
+    }
+
+    #[test]
+    fn store_mutate() {
+        let mut s = DocumentStore::synthetic(2, 10, 20, 1);
+        assert!(s.mutate("http://origin/doc/0", vec![1, 2, 3]));
+        assert_eq!(s.get("http://origin/doc/0"), Some(&[1u8, 2, 3][..]));
+        assert!(!s.mutate("http://origin/doc/99", vec![]));
+    }
+
+    #[test]
+    fn body_cache_roundtrip() {
+        let sg = signer();
+        let mut c = BodyCache::new(1000);
+        let d = doc(&sg, b"hello world");
+        assert!(c.insert("http://a", d.clone()).is_empty());
+        assert_eq!(c.get("http://a"), Some(&d));
+        assert!(c.contains("http://a"));
+        assert_eq!(c.used(), 11);
+        assert!(c.remove("http://a"));
+        assert!(!c.remove("http://a"));
+        assert!(c.get("http://a").is_none());
+    }
+
+    #[test]
+    fn body_cache_evicts_lru_and_reports_urls() {
+        let sg = signer();
+        let mut c = BodyCache::new(25);
+        c.insert("u1", doc(&sg, &[0u8; 10]));
+        c.insert("u2", doc(&sg, &[0u8; 10]));
+        c.get("u1"); // promote
+        let evicted = c.insert("u3", doc(&sg, &[0u8; 10]));
+        assert_eq!(evicted, vec!["u2".to_owned()]);
+        assert!(c.contains("u1"));
+        assert!(!c.contains("u2"));
+    }
+
+    #[test]
+    fn oversize_body_rejected() {
+        let sg = signer();
+        let mut c = BodyCache::new(5);
+        let evicted = c.insert("big", doc(&sg, &[0u8; 10]));
+        assert!(evicted.is_empty());
+        assert!(!c.contains("big"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_body() {
+        let sg = signer();
+        let mut c = BodyCache::new(100);
+        c.insert("u", doc(&sg, b"old"));
+        c.insert("u", doc(&sg, b"newer body"));
+        assert_eq!(c.get("u").unwrap().body, b"newer body");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 10);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

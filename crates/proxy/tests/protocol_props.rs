@@ -1,0 +1,94 @@
+//! Property-based tests of the wire protocol: round-trips, pipelining, and
+//! robustness against arbitrary (malformed) byte streams.
+
+use baps_proxy::{read_message, write_message, Message};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Header names: token characters only (no colon / control bytes).
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,20}"
+}
+
+/// Header values: printable, no CR/LF, trimmed equals itself.
+fn header_value() -> impl Strategy<Value = String> {
+    "[!-~][ -~]{0,40}".prop_map(|s| s.trim().to_owned()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        "[A-Z]{3,8} [!-~]{1,40} BAPS/1\\.0",
+        proptest::collection::vec((header_name(), header_value()), 0..8),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(start, headers, body)| {
+            let mut msg = Message::new(start);
+            for (name, value) in headers {
+                // Content-Length is managed by the writer.
+                if !name.eq_ignore_ascii_case("content-length") {
+                    msg = msg.header(name, value);
+                }
+            }
+            msg.with_body(body)
+        })
+}
+
+proptest! {
+    /// Any well-formed message survives a write/read round-trip.
+    #[test]
+    fn message_roundtrip(msg in message()) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let back = read_message(&mut BufReader::new(buf.as_slice()))
+            .unwrap()
+            .expect("one message");
+        prop_assert_eq!(&back.start, &msg.start);
+        prop_assert_eq!(&back.body, &msg.body);
+        for (name, value) in &msg.headers {
+            prop_assert_eq!(back.get(name), Some(value.as_str()), "header {}", name);
+        }
+    }
+
+    /// Pipelined messages are read back in order, then EOF.
+    #[test]
+    fn pipelining(msgs in proptest::collection::vec(message(), 0..5)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut reader = BufReader::new(buf.as_slice());
+        for m in &msgs {
+            let back = read_message(&mut reader).unwrap().expect("message");
+            prop_assert_eq!(&back.start, &m.start);
+            prop_assert_eq!(&back.body, &m.body);
+        }
+        prop_assert!(read_message(&mut reader).unwrap().is_none());
+    }
+
+    /// Arbitrary garbage never panics the reader: it either parses or
+    /// errors (no hangs either — the input is finite).
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut reader = BufReader::new(bytes.as_slice());
+        // Drain up to a few messages; all outcomes are acceptable except a
+        // panic.
+        for _ in 0..4 {
+            match read_message(&mut reader) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A truncated valid stream errors rather than fabricating a message.
+    #[test]
+    fn truncation_detected(msg in message(), cut in 1usize..64) {
+        prop_assume!(!msg.body.is_empty());
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let cut = cut.min(msg.body.len());
+        buf.truncate(buf.len() - cut);
+        let result = read_message(&mut BufReader::new(buf.as_slice()));
+        prop_assert!(result.is_err(), "truncated body must error");
+    }
+}

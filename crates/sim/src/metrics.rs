@@ -1,0 +1,159 @@
+//! Request-level metrics: hit ratios, byte hit ratios, breakdowns.
+
+use baps_core::HitClass;
+use serde::{Deserialize, Serialize};
+
+/// Count/byte pair for one hit class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounter {
+    /// Number of requests in this class.
+    pub count: u64,
+    /// Bytes served in this class.
+    pub bytes: u64,
+}
+
+/// Aggregated metrics over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Requests served by the local browser cache.
+    pub local_browser: ClassCounter,
+    /// Requests served by the proxy cache.
+    pub proxy: ClassCounter,
+    /// Requests served by remote browser caches.
+    pub remote_browser: ClassCounter,
+    /// Requests that went to the server.
+    pub miss: ClassCounter,
+    /// Bytes served from memory tiers (across local/proxy/remote hits).
+    pub mem_hit_bytes: u64,
+    /// Hits served from memory tiers.
+    pub mem_hits: u64,
+    /// Misses forced by an observed document-size change.
+    pub size_change_misses: u64,
+    /// Remote probes that failed verification (stale index / Bloom FP).
+    pub wasted_probes: u64,
+    /// Cached copies served only after a TTL revalidation round-trip.
+    pub revalidations: u64,
+}
+
+impl Metrics {
+    /// Records one request outcome.
+    pub fn record(&mut self, class: HitClass, size: u64) {
+        let slot = match class {
+            HitClass::LocalBrowser => &mut self.local_browser,
+            HitClass::Proxy => &mut self.proxy,
+            HitClass::RemoteBrowser => &mut self.remote_browser,
+            HitClass::Miss => &mut self.miss,
+        };
+        slot.count += 1;
+        slot.bytes += size;
+    }
+
+    /// Total requests.
+    pub fn requests(&self) -> u64 {
+        self.local_browser.count + self.proxy.count + self.remote_browser.count + self.miss.count
+    }
+
+    /// Total bytes requested.
+    pub fn total_bytes(&self) -> u64 {
+        self.local_browser.bytes + self.proxy.bytes + self.remote_browser.bytes + self.miss.bytes
+    }
+
+    /// Hit ratio in percent (paper's definition: hits in browser caches or
+    /// the proxy cache — remote-browser hits count as browser-cache hits).
+    pub fn hit_ratio(&self) -> f64 {
+        percent(
+            self.local_browser.count + self.proxy.count + self.remote_browser.count,
+            self.requests(),
+        )
+    }
+
+    /// Byte hit ratio in percent.
+    pub fn byte_hit_ratio(&self) -> f64 {
+        percent(
+            self.local_browser.bytes + self.proxy.bytes + self.remote_browser.bytes,
+            self.total_bytes(),
+        )
+    }
+
+    /// Fraction of all requests served by a given class, percent
+    /// (the Fig. 3 breakdown).
+    pub fn class_ratio(&self, class: HitClass) -> f64 {
+        let c = match class {
+            HitClass::LocalBrowser => self.local_browser,
+            HitClass::Proxy => self.proxy,
+            HitClass::RemoteBrowser => self.remote_browser,
+            HitClass::Miss => self.miss,
+        };
+        percent(c.count, self.requests())
+    }
+
+    /// Fraction of all requested bytes served by a given class, percent.
+    pub fn class_byte_ratio(&self, class: HitClass) -> f64 {
+        let c = match class {
+            HitClass::LocalBrowser => self.local_browser,
+            HitClass::Proxy => self.proxy,
+            HitClass::RemoteBrowser => self.remote_browser,
+            HitClass::Miss => self.miss,
+        };
+        percent(c.bytes, self.total_bytes())
+    }
+
+    /// Memory byte hit ratio in percent (paper §4.2): bytes served from RAM
+    /// tiers over all requested bytes.
+    pub fn mem_byte_hit_ratio(&self) -> f64 {
+        percent(self.mem_hit_bytes, self.total_bytes())
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_add_up() {
+        let mut m = Metrics::default();
+        m.record(HitClass::LocalBrowser, 100);
+        m.record(HitClass::Proxy, 200);
+        m.record(HitClass::RemoteBrowser, 300);
+        m.record(HitClass::Miss, 400);
+        assert_eq!(m.requests(), 4);
+        assert_eq!(m.total_bytes(), 1000);
+        assert!((m.hit_ratio() - 75.0).abs() < 1e-9);
+        assert!((m.byte_hit_ratio() - 60.0).abs() < 1e-9);
+        let sum: f64 = [
+            HitClass::LocalBrowser,
+            HitClass::Proxy,
+            HitClass::RemoteBrowser,
+            HitClass::Miss,
+        ]
+        .iter()
+        .map(|&c| m.class_ratio(c))
+        .sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_zero_ratios() {
+        let m = Metrics::default();
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.byte_hit_ratio(), 0.0);
+        assert_eq!(m.mem_byte_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn mem_byte_hit_ratio() {
+        let mut m = Metrics::default();
+        m.record(HitClass::Proxy, 100);
+        m.record(HitClass::Miss, 100);
+        m.mem_hit_bytes = 50;
+        assert!((m.mem_byte_hit_ratio() - 25.0).abs() < 1e-9);
+    }
+}

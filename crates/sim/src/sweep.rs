@@ -1,0 +1,139 @@
+//! Parallel parameter sweeps.
+//!
+//! Each (configuration) replay is single-threaded and deterministic; a sweep
+//! fans the independent replays out over crossbeam scoped threads, so
+//! results are bit-identical to running them serially, just wall-clock
+//! faster. This is how every multi-point figure in the paper is produced.
+
+use crate::engine::{run, RunResult};
+use baps_core::{LatencyParams, SystemConfig};
+use baps_trace::{Trace, TraceStats};
+
+/// Runs every configuration against the trace, in parallel, preserving
+/// input order in the output.
+pub fn run_sweep(
+    trace: &Trace,
+    stats: &TraceStats,
+    configs: &[SystemConfig],
+    latency: &LatencyParams,
+) -> Vec<RunResult> {
+    let threads = available_threads().min(configs.len().max(1));
+    if threads <= 1 || configs.len() <= 1 {
+        return configs
+            .iter()
+            .map(|cfg| run(trace, stats, cfg, latency))
+            .collect();
+    }
+
+    // Work queue: an atomic cursor hands out configuration indices; each
+    // worker sends (index, result) back over a channel and the coordinator
+    // reassembles input order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = run(trace, stats, &configs[i], latency);
+                tx.send((i, result)).expect("coordinator alive");
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(tx);
+    let mut results: Vec<Option<RunResult>> = vec![None; configs.len()];
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every config produced a result"))
+        .collect()
+}
+
+/// Number of worker threads to use (leaves a core for the coordinator).
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+/// The proxy-cache scale points used throughout the paper's figures,
+/// as fractions of the infinite cache size.
+pub const PROXY_SCALE_POINTS: [f64; 5] = [0.005, 0.01, 0.05, 0.10, 0.20];
+
+/// Builds one configuration per proxy scale point for a fixed organization.
+pub fn scale_configs(
+    base: &SystemConfig,
+    infinite_cache_bytes: u64,
+    points: &[f64],
+) -> Vec<SystemConfig> {
+    points
+        .iter()
+        .map(|&frac| {
+            let mut cfg = *base;
+            cfg.proxy_capacity = ((infinite_cache_bytes as f64 * frac).round() as u64).max(1);
+            cfg
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_simple;
+    use baps_core::Organization;
+    use baps_trace::SynthConfig;
+
+    #[test]
+    fn sweep_matches_serial() {
+        let trace = SynthConfig::small().scaled(0.2).generate(4);
+        let stats = TraceStats::compute(&trace);
+        let configs: Vec<SystemConfig> = Organization::all()
+            .iter()
+            .map(|&org| SystemConfig::paper_default(org, 1 << 20))
+            .collect();
+        let parallel = run_sweep(&trace, &stats, &configs, &LatencyParams::paper());
+        assert_eq!(parallel.len(), configs.len());
+        for (cfg, result) in configs.iter().zip(&parallel) {
+            let serial = run_simple(&trace, cfg);
+            assert_eq!(serial.metrics, result.metrics, "{}", cfg.organization.name());
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let trace = SynthConfig::small().scaled(0.1).generate(4);
+        let stats = TraceStats::compute(&trace);
+        let base = SystemConfig::paper_default(Organization::BrowsersAware, 0);
+        let configs = scale_configs(&base, stats.infinite_cache_bytes, &PROXY_SCALE_POINTS);
+        let results = run_sweep(&trace, &stats, &configs, &LatencyParams::paper());
+        for (cfg, r) in configs.iter().zip(&results) {
+            assert_eq!(cfg.proxy_capacity, r.config.proxy_capacity);
+        }
+        // Larger proxies never hurt the hit ratio (LRU inclusion on a
+        // fixed stream — monotone in practice for these workloads).
+        assert!(results.last().unwrap().hit_ratio() >= results[0].hit_ratio());
+    }
+
+    #[test]
+    fn scale_configs_fractions() {
+        let base = SystemConfig::paper_default(Organization::ProxyOnly, 0);
+        let configs = scale_configs(&base, 1_000_000, &[0.01, 0.10]);
+        assert_eq!(configs[0].proxy_capacity, 10_000);
+        assert_eq!(configs[1].proxy_capacity, 100_000);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let trace = SynthConfig::small().scaled(0.05).generate(4);
+        let stats = TraceStats::compute(&trace);
+        let results = run_sweep(&trace, &stats, &[], &LatencyParams::paper());
+        assert!(results.is_empty());
+    }
+}

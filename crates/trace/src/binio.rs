@@ -1,0 +1,212 @@
+//! Compact binary (de)serialisation of traces.
+//!
+//! Full-size traces run to hundreds of thousands of records; the binary
+//! format stores each request as four little-endian integers with
+//! delta-encoded timestamps, roughly 4× smaller than JSON and fast enough to
+//! round-trip full experiment inputs. The format is versioned with a magic
+//! header so stale files fail loudly.
+
+use crate::types::{ClientId, DocId, Request, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"BAPSTRC1";
+
+/// Writes `trace` to `w` in the compact binary format.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, trace.name.len() as u32)?;
+    w.write_all(trace.name.as_bytes())?;
+    write_u32(w, trace.n_clients)?;
+    write_u32(w, trace.n_docs)?;
+    write_u64(w, trace.requests.len() as u64)?;
+    let mut prev_time = 0u64;
+    for r in &trace.requests {
+        let delta = r.time_ms.checked_sub(prev_time).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "requests must be sorted by time before writing",
+            )
+        })?;
+        prev_time = r.time_ms;
+        write_varint(w, delta)?;
+        write_u32(w, r.client.0)?;
+        write_u32(w, r.doc.0)?;
+        write_u32(w, r.size)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_trace`].
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a BAPS trace file (bad magic)",
+        ));
+    }
+    let name_len = read_u32(r)? as usize;
+    if name_len > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable name length",
+        ));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let n_clients = read_u32(r)?;
+    let n_docs = read_u32(r)?;
+    let n = read_u64(r)?;
+    let mut requests = Vec::with_capacity(n.min(1 << 28) as usize);
+    let mut time = 0u64;
+    for _ in 0..n {
+        time += read_varint(r)?;
+        let client = ClientId(read_u32(r)?);
+        let doc = DocId(read_u32(r)?);
+        let size = read_u32(r)?;
+        if client.0 >= n_clients || doc.0 >= n_docs {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request references out-of-universe client/doc",
+            ));
+        }
+        requests.push(Request {
+            time_ms: time,
+            client,
+            doc,
+            size,
+        });
+    }
+    Ok(Trace {
+        name,
+        requests,
+        n_clients,
+        n_docs,
+    })
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// LEB128-style unsigned varint.
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        v |= ((b[0] & 0x7f) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn roundtrip_synthetic_trace() {
+        let t = SynthConfig::small().scaled(0.2).generate(9);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.n_clients, t.n_clients);
+        assert_eq!(back.n_docs, t.n_docs);
+        assert_eq!(back.requests, t.requests);
+    }
+
+    #[test]
+    fn roundtrip_empty_trace() {
+        let t = Trace::new("empty");
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name, "empty");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&mut &b"NOTATRCE...."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unsorted_trace_rejected_on_write() {
+        let mut t = Trace::new("t");
+        t.push(Request {
+            time_ms: 10,
+            client: ClientId(0),
+            doc: DocId(0),
+            size: 1,
+        });
+        t.push(Request {
+            time_ms: 5,
+            client: ClientId(0),
+            doc: DocId(0),
+            size: 1,
+        });
+        let mut buf = Vec::new();
+        assert!(write_trace(&mut buf, &t).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t = SynthConfig::small().scaled(0.05).generate(1);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Random samplers used by the synthetic workload generator.
+//!
+//! Web workloads are classically modelled with a Zipf-like document
+//! popularity distribution and heavy-tailed document sizes (lognormal body,
+//! Pareto tail). These samplers are implemented here directly so the crate
+//! only depends on `rand`'s core traits, and so every distribution is
+//! deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Zipf-like distribution over ranks `0..n` with exponent `alpha`:
+/// `P(rank = i) ∝ 1 / (i + 1)^alpha`.
+///
+/// Sampling uses rejection-inversion (W. Hörmann, G. Derflinger,
+/// "Rejection-inversion to generate variates from monotone discrete
+/// distributions"), which is O(1) per sample and needs no O(n) table, so it
+/// scales to document universes of millions.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha <= 0` or `alpha` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        let h_x1 = Self::h_integral(1.5, alpha) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, alpha);
+        let s = 2.0
+            - Self::h_integral_inv(
+                Self::h_integral(2.5, alpha) - Self::h(2.0, alpha),
+                alpha,
+            );
+        Zipf {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// `H(x) = ∫ t^-alpha dt` up to additive constant: `(x^(1-a) - 1)/(1-a)`,
+    /// or `ln x` for `a = 1`.
+    fn h_integral(x: f64, alpha: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+        }
+    }
+
+    /// `h(x) = x^-alpha`.
+    fn h(x: f64, alpha: f64) -> f64 {
+        x.powf(-alpha)
+    }
+
+    /// Inverse of [`Self::h_integral`].
+    fn h_integral_inv(x: f64, alpha: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            // Clamp against tiny negative arguments from rounding.
+            let t = (1.0 + x * (1.0 - alpha)).max(0.0);
+            t.powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent alpha.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inv(u, self.alpha);
+            let kf = x.round().clamp(1.0, self.n as f64);
+            if kf - x <= self.s
+                || u >= Self::h_integral(kf + 0.5, self.alpha) - Self::h(kf, self.alpha)
+            {
+                return kf as u64 - 1;
+            }
+        }
+    }
+}
+
+/// Samples from a lognormal distribution: `exp(mu + sigma * N(0,1))`.
+///
+/// The standard normal is generated with the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given parameters of the underlying normal.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a lognormal from a target *median* and sigma.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Samples one value (> 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: avoid u1 == 0 which makes ln(u1) = -inf.
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Pareto distribution with scale `x_m > 0` and shape `alpha > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    x_m: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics if `x_m <= 0` or `alpha <= 0`.
+    pub fn new(x_m: f64, alpha: f64) -> Self {
+        assert!(x_m > 0.0 && alpha > 0.0);
+        Pareto { x_m, alpha }
+    }
+
+    /// Samples one value (>= x_m) by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        self.x_m / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Heavy-tailed Web document size model: lognormal body with a Pareto tail,
+/// clamped to `[min, max]` bytes.
+///
+/// With probability `tail_prob` the size is drawn from the Pareto tail,
+/// otherwise from the lognormal body. This mirrors the classical model of
+/// Web object sizes (Barford & Crovella).
+#[derive(Debug, Clone, Copy)]
+pub struct DocSize {
+    body: LogNormal,
+    tail: Pareto,
+    tail_prob: f64,
+    min: u32,
+    max: u32,
+}
+
+impl DocSize {
+    /// Creates the hybrid size model.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `tail_prob` is outside `[0, 1]`.
+    pub fn new(body: LogNormal, tail: Pareto, tail_prob: f64, min: u32, max: u32) -> Self {
+        assert!(min <= max);
+        assert!((0.0..=1.0).contains(&tail_prob));
+        DocSize {
+            body,
+            tail,
+            tail_prob,
+            min,
+            max,
+        }
+    }
+
+    /// A reasonable default for early-2000s Web traffic: median ~4 KB body,
+    /// a Pareto(8 KB, 1.2) tail taken 8% of the time, clamped to
+    /// [64 B, 8 MB].
+    pub fn web_default() -> Self {
+        DocSize::new(
+            LogNormal::from_median(4096.0, 1.2),
+            Pareto::new(8192.0, 1.2),
+            0.08,
+            64,
+            8 << 20,
+        )
+    }
+
+    /// Samples a document size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let raw = if rng.gen::<f64>() < self.tail_prob {
+            self.tail.sample(rng)
+        } else {
+            self.body.sample(rng)
+        };
+        let clamped = raw.clamp(self.min as f64, self.max as f64);
+        clamped.round() as u32
+    }
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`,
+/// using a precomputed cumulative table and binary search (O(log n)).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the table. Weights must be non-negative and sum to > 0.
+    ///
+    /// # Panics
+    /// Panics on empty weights, negative weights, or a zero sum.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must sum to a positive value");
+        WeightedIndex { cumulative }
+    }
+
+    /// Builds Zipf weights over `n` items: weight of item i is 1/(i+1)^alpha.
+    pub fn zipf(n: usize, alpha: f64) -> Self {
+        assert!(n > 0);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples an index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Exponential inter-arrival sampler with the given mean (in the same unit
+/// the caller interprets, e.g. milliseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with `mean > 0`.
+    ///
+    /// # Panics
+    /// Panics if `mean <= 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0);
+        Exponential { mean }
+    }
+
+    /// Samples one inter-arrival gap.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let z = Zipf::new(1000, 0.8);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        // Rank 0 should clearly dominate rank 10 and rank 50.
+        assert!(counts[0] > counts[10] * 2);
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zipf_matches_theory_roughly() {
+        // For alpha = 1 over n = 10, P(0) = 1/H_10 ≈ 0.3414.
+        let z = Zipf::new(10, 1.0);
+        let mut r = rng();
+        let trials = 200_000;
+        let mut c0 = 0u32;
+        for _ in 0..trials {
+            if z.sample(&mut r) == 0 {
+                c0 += 1;
+            }
+        }
+        let p0 = c0 as f64 / trials as f64;
+        assert!((p0 - 0.3414).abs() < 0.01, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 0.7);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let d = LogNormal::from_median(4096.0, 1.0);
+        let mut r = rng();
+        let mut v: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median / 4096.0 - 1.0).abs() < 0.1, "median = {median}");
+    }
+
+    #[test]
+    fn pareto_lower_bound_holds() {
+        let p = Pareto::new(8192.0, 1.2);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut r) >= 8192.0);
+        }
+    }
+
+    #[test]
+    fn doc_size_respects_clamp() {
+        let d = DocSize::web_default();
+        let mut r = rng();
+        for _ in 0..20_000 {
+            let s = d.sample(&mut r);
+            assert!((64..=(8 << 20)).contains(&s));
+        }
+    }
+
+    #[test]
+    fn doc_size_is_heavy_tailed() {
+        let d = DocSize::web_default();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        // Heavy tail: mean well above median.
+        assert!(mean > median * 1.5, "mean={mean} median={median}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_items() {
+        let w = WeightedIndex::new(&[8.0, 1.0, 1.0]);
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 4);
+        assert!(counts[0] > counts[2] * 4);
+    }
+
+    #[test]
+    fn weighted_index_zero_weight_never_sampled() {
+        let w = WeightedIndex::new(&[1.0, 0.0, 1.0]);
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert_ne!(w.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let e = Exponential::new(250.0);
+        let mut r = rng();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| e.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean / 250.0 - 1.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_rejects_zero_sum() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+}

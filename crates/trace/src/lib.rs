@@ -1,0 +1,44 @@
+//! # baps-trace — Web request traces for the Browsers-Aware Proxy Server
+//!
+//! This crate provides everything the BAPS reproduction needs on the
+//! workload side:
+//!
+//! * the trace data model ([`Trace`], [`Request`], [`ClientId`], [`DocId`]),
+//! * trace characterisation matching the paper's Table 1 ([`TraceStats`]),
+//! * a synthetic workload generator with calibrated per-paper-trace
+//!   profiles ([`SynthConfig`], [`Profile`]) — the original NLANR/BU/CA*netII
+//!   logs are no longer distributable, see [`profiles`] for the substitution
+//!   rationale,
+//! * parsers for the real log formats (Squid native logs via
+//!   [`parse_squid`], BU condensed logs via [`parse_bu`]) so genuine archives
+//!   can be replayed when available, and
+//! * a compact binary trace format ([`write_trace`] / [`read_trace`]).
+//!
+//! All randomness flows through seeded [`rand::rngs::StdRng`] instances, so
+//! every artefact in this workspace is reproducible bit-for-bit.
+//!
+//! [`rand::rngs::StdRng`]: https://docs.rs/rand/latest/rand/rngs/struct.StdRng.html
+
+#![warn(missing_docs)]
+
+pub mod binio;
+pub mod bu;
+pub mod dist;
+pub mod export;
+pub mod profiles;
+pub mod sharing;
+pub mod squid;
+pub mod stats;
+pub mod synth;
+pub mod types;
+
+pub use binio::{read_trace, write_trace};
+pub use bu::{parse_bu, BuOptions};
+pub use export::{write_squid_log, ExportNames};
+pub use dist::{DocSize, Exponential, LogNormal, Pareto, WeightedIndex, Zipf};
+pub use profiles::{PaperTargets, Profile};
+pub use sharing::SharingStats;
+pub use squid::{parse_squid, ParseError, SquidOptions};
+pub use stats::TraceStats;
+pub use synth::{SizeModelConfig, SynthConfig};
+pub use types::{ClientId, DocId, Interner, Request, Trace};

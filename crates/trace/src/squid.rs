@@ -1,0 +1,199 @@
+//! Parser for Squid "native" access logs (the NLANR and CA*netII format).
+//!
+//! NLANR sanitised cache logs are lines of the form
+//!
+//! ```text
+//! timestamp elapsed client code/status bytes method URL rfc931 hierarchy/host type
+//! 963526407.852  345 137.78.1.2 TCP_MISS/200 4120 GET http://host/p - DIRECT/... text/html
+//! ```
+//!
+//! `timestamp` is seconds (with millisecond fraction) since the epoch,
+//! `client` is the (randomised but per-day consistent) client address, and
+//! `bytes` is the reply size. We keep successful `GET` replies with a
+//! positive size, intern clients and URLs to dense ids, and rebase time to
+//! the first request.
+
+use crate::types::{ClientId, DocId, Interner, Request, Trace};
+use std::fmt;
+use std::io::BufRead;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Options controlling which records are admitted.
+#[derive(Debug, Clone)]
+pub struct SquidOptions {
+    /// Keep only `GET` requests (the paper simulates document fetches).
+    pub only_get: bool,
+    /// Keep only replies with HTTP status 200 or 304→200-style cache codes.
+    pub only_success: bool,
+    /// Skip records whose size is zero.
+    pub skip_empty: bool,
+}
+
+impl Default for SquidOptions {
+    fn default() -> Self {
+        SquidOptions {
+            only_get: true,
+            only_success: true,
+            skip_empty: true,
+        }
+    }
+}
+
+/// Parses a Squid native access log into a [`Trace`].
+///
+/// Malformed lines abort with a [`ParseError`]; lines filtered out by
+/// `options` are silently skipped. Returns the trace together with the URL
+/// and client interners so callers can map ids back to strings.
+pub fn parse_squid<R: BufRead>(
+    reader: R,
+    name: &str,
+    options: &SquidOptions,
+) -> Result<(Trace, Interner, Interner), ParseError> {
+    let mut urls = Interner::new();
+    let mut clients = Interner::new();
+    let mut trace = Trace::new(name);
+    let mut t0: Option<u64> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseError {
+            line: lineno,
+            message: format!("io error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+
+        let ts: f64 = fields
+            .next()
+            .ok_or_else(|| err("missing timestamp".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad timestamp: {e}")))?;
+        let _elapsed = fields.next().ok_or_else(|| err("missing elapsed".into()))?;
+        let client = fields.next().ok_or_else(|| err("missing client".into()))?;
+        let code = fields
+            .next()
+            .ok_or_else(|| err("missing result code".into()))?;
+        let bytes: u64 = fields
+            .next()
+            .ok_or_else(|| err("missing size".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad size: {e}")))?;
+        let method = fields.next().ok_or_else(|| err("missing method".into()))?;
+        let url = fields.next().ok_or_else(|| err("missing URL".into()))?;
+
+        if options.only_get && method != "GET" {
+            continue;
+        }
+        if options.only_success && !code.ends_with("/200") && !code.ends_with("/304") {
+            continue;
+        }
+        if options.skip_empty && bytes == 0 {
+            continue;
+        }
+
+        let abs_ms = (ts * 1000.0) as u64;
+        let base = *t0.get_or_insert(abs_ms);
+        let time_ms = abs_ms.saturating_sub(base);
+        let c = ClientId(clients.intern(client));
+        let d = DocId(urls.intern(url));
+        trace.push(Request {
+            time_ms,
+            client: c,
+            doc: d,
+            size: bytes.min(u32::MAX as u64) as u32,
+        });
+    }
+    trace.sort_by_time();
+    Ok((trace, urls, clients))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+963526407.852 345 10.0.0.1 TCP_MISS/200 4120 GET http://a.example/x - DIRECT/1.2.3.4 text/html
+963526408.100 12 10.0.0.2 TCP_HIT/200 900 GET http://a.example/y - NONE/- image/gif
+963526408.200 88 10.0.0.1 TCP_MISS/404 300 GET http://a.example/z - DIRECT/1.2.3.4 text/html
+963526408.300 15 10.0.0.1 TCP_MISS/200 777 POST http://a.example/post - DIRECT/1.2.3.4 text/html
+963526409.000 20 10.0.0.2 TCP_MISS/200 0 GET http://a.example/empty - DIRECT/1.2.3.4 text/html
+963526410.000 20 10.0.0.2 TCP_REFRESH_HIT/304 512 GET http://a.example/x - NONE/- text/html
+";
+
+    #[test]
+    fn parses_and_filters() {
+        let (trace, urls, clients) =
+            parse_squid(Cursor::new(SAMPLE), "t", &SquidOptions::default()).unwrap();
+        // Rows kept: lines 1, 2, 6 (404, POST and zero-size dropped).
+        assert_eq!(trace.len(), 3);
+        assert_eq!(clients.len(), 2);
+        assert_eq!(urls.len(), 2); // /x appears twice
+        assert_eq!(trace.requests[0].time_ms, 0); // rebased
+        assert_eq!(trace.requests[1].time_ms, 248);
+        assert_eq!(trace.requests[0].size, 4120);
+    }
+
+    #[test]
+    fn keep_everything_options() {
+        let opts = SquidOptions {
+            only_get: false,
+            only_success: false,
+            skip_empty: false,
+        };
+        let (trace, ..) = parse_squid(Cursor::new(SAMPLE), "t", &opts).unwrap();
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        let s = "# header\n\n963526407.852 1 c TCP_MISS/200 10 GET http://u - D/- t\n";
+        let (trace, ..) = parse_squid(Cursor::new(s), "t", &SquidOptions::default()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn bad_timestamp_is_error() {
+        let s = "notatime 1 c TCP_MISS/200 10 GET http://u - D/- t\n";
+        let e = parse_squid(Cursor::new(s), "t", &SquidOptions::default()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("timestamp"));
+    }
+
+    #[test]
+    fn truncated_line_is_error() {
+        let s = "963526407.852 345 10.0.0.1\n";
+        let e = parse_squid(Cursor::new(s), "t", &SquidOptions::default()).unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn same_url_same_doc_id() {
+        let (trace, ..) =
+            parse_squid(Cursor::new(SAMPLE), "t", &SquidOptions::default()).unwrap();
+        assert_eq!(trace.requests[0].doc, trace.requests[2].doc);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the workload generator and log parsers.
+
+use baps_trace::{
+    parse_bu, parse_squid, read_trace, write_trace, BuOptions, SquidOptions, SynthConfig,
+    TraceStats,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        2u32..24,            // clients
+        200u64..3_000,       // requests
+        0.2f64..1.2,         // doc_alpha
+        0.0f64..0.9,         // client_alpha
+        0.0f64..0.5,         // p_private
+        0.0f64..0.4,         // private_frac
+        0.0f64..0.5,         // p_group
+        1u32..6,             // group_count
+        0.0f64..0.4,         // group_frac
+        0.0f64..0.7,         // p_temporal
+        0.0f64..1.0,         // pop_size_bias
+        0.0f64..0.05,        // p_size_change
+    )
+        .prop_map(
+            |(
+                n_clients,
+                n_requests,
+                doc_alpha,
+                client_alpha,
+                p_private,
+                private_frac,
+                p_group,
+                group_count,
+                group_frac,
+                p_temporal,
+                pop_size_bias,
+                p_size_change,
+            )| {
+                let mut cfg = SynthConfig::small();
+                cfg.n_clients = n_clients;
+                cfg.n_requests = n_requests;
+                cfg.n_docs = (n_requests as u32).max(n_clients * 4);
+                cfg.doc_alpha = doc_alpha;
+                cfg.client_alpha = client_alpha;
+                cfg.p_private = p_private;
+                cfg.private_frac = private_frac;
+                cfg.p_group = p_group;
+                cfg.group_count = group_count;
+                cfg.group_frac = group_frac;
+                cfg.p_temporal = p_temporal;
+                cfg.pop_size_bias = pop_size_bias;
+                cfg.p_size_change = p_size_change;
+                cfg
+            },
+        )
+        .prop_filter("valid config", |cfg| cfg.validate().is_ok())
+}
+
+proptest! {
+    /// Every generated trace respects its declared universe, is time
+    /// ordered, and is deterministic in the seed.
+    #[test]
+    fn generator_invariants(cfg in synth_config(), seed in any::<u64>()) {
+        let t = cfg.generate(seed);
+        prop_assert_eq!(t.len() as u64, cfg.n_requests);
+        prop_assert!(t.n_clients <= cfg.n_clients);
+        for w in t.requests.windows(2) {
+            prop_assert!(w[0].time_ms <= w[1].time_ms);
+        }
+        for r in t.iter() {
+            prop_assert!(r.client.0 < cfg.n_clients);
+            prop_assert!(r.doc.0 < cfg.n_docs);
+            prop_assert!(r.size >= 1);
+        }
+        let t2 = cfg.generate(seed);
+        prop_assert_eq!(t.requests, t2.requests);
+    }
+
+    /// Statistics are internally consistent for arbitrary workloads.
+    #[test]
+    fn stats_consistency(cfg in synth_config(), seed in any::<u64>()) {
+        let t = cfg.generate(seed);
+        let s = TraceStats::compute(&t);
+        prop_assert_eq!(s.requests, t.len() as u64);
+        prop_assert_eq!(s.total_bytes, t.total_bytes());
+        prop_assert!(s.unique_docs <= s.requests);
+        prop_assert!(s.infinite_cache_bytes <= s.total_bytes);
+        prop_assert!(s.max_hit_ratio <= 100.0);
+        prop_assert!(s.max_byte_hit_ratio <= 100.0);
+        // Hits + uniques + size-changes account for every request.
+        let hits = (s.max_hit_ratio / 100.0 * s.requests as f64).round() as u64;
+        prop_assert_eq!(hits + s.unique_docs + s.size_changes, s.requests);
+    }
+
+    /// Binary trace round-trips for arbitrary workloads.
+    #[test]
+    fn binio_roundtrip(cfg in synth_config(), seed in any::<u64>()) {
+        let t = cfg.generate(seed);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.requests, t.requests);
+        prop_assert_eq!(back.n_clients, t.n_clients);
+        prop_assert_eq!(back.n_docs, t.n_docs);
+    }
+
+    /// The Squid parser never panics on arbitrary UTF-8 input.
+    #[test]
+    fn squid_parser_never_panics(lines in proptest::collection::vec(".{0,120}", 0..30)) {
+        let joined = lines.join("\n");
+        let _ = parse_squid(
+            BufReader::new(joined.as_bytes()),
+            "fuzz",
+            &SquidOptions::default(),
+        );
+    }
+
+    /// The BU parser never panics on arbitrary UTF-8 input.
+    #[test]
+    fn bu_parser_never_panics(lines in proptest::collection::vec(".{0,120}", 0..30)) {
+        let joined = lines.join("\n");
+        let _ = parse_bu(BufReader::new(joined.as_bytes()), "fuzz", &BuOptions::default());
+    }
+}

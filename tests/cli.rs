@@ -1,0 +1,126 @@
+//! Integration tests of the `baps` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn baps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_baps"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("baps-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = baps().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("generate"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = baps().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_info_simulate_pipeline() {
+    let trace_path = tmpfile("pipeline.baps");
+    let squid_path = tmpfile("pipeline.log");
+
+    let out = baps()
+        .args([
+            "generate",
+            "--profile",
+            "canet",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            "--squid",
+            squid_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace_path.exists());
+    assert!(squid_path.exists());
+
+    let out = baps()
+        .args(["info", trace_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CA*netII"));
+    assert!(text.contains("max hit ratio"));
+
+    let out = baps()
+        .args([
+            "simulate",
+            trace_path.to_str().unwrap(),
+            "--all-orgs",
+            "--proxy-frac",
+            "0.1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("browsers-aware-proxy-server"));
+    assert!(text.contains("proxy-and-local-browser"));
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&squid_path);
+}
+
+#[test]
+fn generate_requires_profile() {
+    let out = baps().args(["generate", "--out", "/tmp/x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile"));
+}
+
+#[test]
+fn simulate_rejects_bad_org() {
+    let trace_path = tmpfile("badorg.baps");
+    baps()
+        .args([
+            "generate",
+            "--profile",
+            "canet",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--scale",
+            "0.01",
+        ])
+        .output()
+        .unwrap();
+    let out = baps()
+        .args(["simulate", trace_path.to_str().unwrap(), "--org", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --org"));
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn info_missing_file_fails() {
+    let out = baps().args(["info", "/nonexistent/trace.baps"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn demo_runs_end_to_end() {
+    let out = baps().args(["demo", "--clients", "3"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("peer browser cache"), "{text}");
+}
