@@ -9,9 +9,7 @@
 
 use baps_bench::{banner, load_profile, Cli};
 use baps_cache::Policy;
-use baps_core::{
-    BrowserSizing, LatencyParams, Organization, RemoteHitCaching, SystemConfig,
-};
+use baps_core::{BrowserSizing, LatencyParams, Organization, RemoteHitCaching, SystemConfig};
 use baps_index::IndexModel;
 use baps_sim::{human_bytes, pct, run_sweep, Table};
 use baps_trace::Profile;
@@ -95,7 +93,10 @@ fn main() {
     ];
     let configs: Vec<SystemConfig> = models
         .iter()
-        .map(|&index_model| SystemConfig { index_model, ..base })
+        .map(|&index_model| SystemConfig {
+            index_model,
+            ..base
+        })
         .collect();
     let runs = run_sweep(&trace, &stats, &configs, &latency);
     let mut t = Table::new(vec![
@@ -120,10 +121,7 @@ fn main() {
     println!();
 
     banner("Ablation D: peer-serve promotion (does serving a peer count as an access?)");
-    let configs = [
-        ("promote (LRU semantics)", true),
-        ("no promotion", false),
-    ];
+    let configs = [("promote (LRU semantics)", true), ("no promotion", false)];
     let runs = run_sweep(
         &trace,
         &stats,

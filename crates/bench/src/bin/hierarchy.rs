@@ -18,14 +18,7 @@ fn main() {
     let latency = LatencyParams::paper();
 
     let mut table = Table::new(vec![
-        "groups",
-        "sharing",
-        "HR %",
-        "BHR %",
-        "local %",
-        "L1 %",
-        "remote %",
-        "L2 %",
+        "groups", "sharing", "HR %", "BHR %", "local %", "L1 %", "remote %", "L2 %",
     ]);
     for n_groups in [2u32, 4, 8] {
         for mode in [

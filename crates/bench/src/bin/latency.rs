@@ -31,8 +31,7 @@ fn main() {
         Organization::BrowsersAware,
         Organization::ProxyAndLocalBrowser,
     ] {
-        let mut cfg =
-            SystemConfig::paper_default(org, (stats.infinite_cache_bytes / 10).max(1));
+        let mut cfg = SystemConfig::paper_default(org, (stats.infinite_cache_bytes / 10).max(1));
         cfg.browser_sizing = BrowserSizing::Minimum;
         let r = run_with_options(&trace, &stats, &cfg, &latency, &opts);
         let h = &r.histograms;

@@ -1,0 +1,146 @@
+//! Load generator for the live proxy runtime.
+//!
+//! Drives N concurrent clients through a full loopback [`TestBed`]
+//! (origin + proxy + clients over real sockets) and reports throughput and
+//! latency quantiles, once with **keep-alive** connections (the default
+//! runtime behaviour: one persistent connection per client, pooled origin
+//! connections inside the proxy) and once dialing a **fresh connection per
+//! request** (the pre-pooling behaviour, kept behind
+//! `ClientAgent::set_keep_alive(false)`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin live_load [n_clients] [requests_per_client] [n_docs]
+//! ```
+//!
+//! Defaults: 8 clients x 2000 requests over 64 documents.
+
+use baps_proxy::{DocumentStore, TestBed, TestBedConfig};
+use baps_sim::histo::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct ModeReport {
+    label: &'static str,
+    wall_secs: f64,
+    requests: u64,
+    histo: LatencyHistogram,
+}
+
+impl ModeReport {
+    fn req_per_sec(&self) -> f64 {
+        self.requests as f64 / self.wall_secs
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<12} {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   mean {:>7.3} ms   ({} requests in {:.2} s)",
+            self.label,
+            self.req_per_sec(),
+            self.histo.quantile_ms(0.50),
+            self.histo.quantile_ms(0.99),
+            self.histo.mean_ms(),
+            self.requests,
+            self.wall_secs,
+        );
+    }
+}
+
+fn run_mode(keep_alive: bool, n_clients: u32, per_client: u32, n_docs: usize) -> ModeReport {
+    // Fresh deployment per mode so neither run inherits warm caches.
+    let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients,
+            proxy_capacity: 256 << 10,
+            // Tiny browser caches keep most requests on the wire, which is
+            // what this benchmark is about.
+            browser_capacity: 4 << 10,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+    for client in &bed.clients {
+        client.set_keep_alive(keep_alive);
+    }
+
+    let t0 = Instant::now();
+    let histos: Vec<LatencyHistogram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bed
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, client)| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x10ad ^ i as u64);
+                    let mut histo = LatencyHistogram::new();
+                    for _ in 0..per_client {
+                        let doc = rng.gen_range(0..n_docs);
+                        let url = format!("http://origin/doc/{doc}");
+                        let t = Instant::now();
+                        client.fetch(&url).expect("fetch succeeds under load");
+                        histo.record(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    histo
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut histo = LatencyHistogram::new();
+    for h in &histos {
+        histo.merge(h);
+    }
+    // Sanity: the proxy saw real traffic (local browser hits never reach
+    // it, so its GET count is at most the client-side total).
+    let stats = bed.proxy.stats();
+    assert!(stats.requests > 0, "no request reached the proxy");
+    assert!(stats.requests <= histo.count(), "proxy GET over-count");
+    bed.shutdown();
+    ModeReport {
+        label: if keep_alive {
+            "keep-alive"
+        } else {
+            "per-request"
+        },
+        wall_secs,
+        requests: histo.count(),
+        histo,
+    }
+}
+
+fn arg<T: std::str::FromStr>(raw: Option<String>, name: &str, default: T) -> T {
+    match raw {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad {name}: {s:?} (usage: live_load [n_clients] [per_client] [n_docs])");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_clients: u32 = arg(args.next(), "n_clients", 8);
+    let per_client: u32 = arg(args.next(), "per_client", 2000);
+    let n_docs: usize = arg(args.next(), "n_docs", 64);
+
+    println!(
+        "live_load: {n_clients} clients x {per_client} requests, {n_docs} docs (loopback sockets)\n"
+    );
+
+    let per_request = run_mode(false, n_clients, per_client, n_docs);
+    per_request.print();
+    let keep_alive = run_mode(true, n_clients, per_client, n_docs);
+    keep_alive.print();
+
+    println!(
+        "\nkeep-alive speedup: {:.2}x req/s",
+        keep_alive.req_per_sec() / per_request.req_per_sec()
+    );
+}

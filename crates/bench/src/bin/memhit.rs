@@ -39,10 +39,20 @@ fn main() {
     // crossover elsewhere, so we bisect for it).
     let target_bhr = plb.byte_hit_ratio();
     let (mut lo, mut hi) = (0.01f64, 0.10f64);
-    let mut baps = run(&trace, &stats, &mk(Organization::BrowsersAware, hi), &latency);
+    let mut baps = run(
+        &trace,
+        &stats,
+        &mk(Organization::BrowsersAware, hi),
+        &latency,
+    );
     for _ in 0..7 {
         let mid = (lo + hi) / 2.0;
-        let r = run(&trace, &stats, &mk(Organization::BrowsersAware, mid), &latency);
+        let r = run(
+            &trace,
+            &stats,
+            &mk(Organization::BrowsersAware, mid),
+            &latency,
+        );
         if r.byte_hit_ratio() < target_bhr {
             lo = mid;
         } else {

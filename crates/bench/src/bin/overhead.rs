@@ -47,7 +47,14 @@ fn main() {
             pct(r.latency.contention_pct_of_comm()),
         ]);
     }
-    print!("{}", if cli.csv { comm.to_csv() } else { comm.render() });
+    print!(
+        "{}",
+        if cli.csv {
+            comm.to_csv()
+        } else {
+            comm.render()
+        }
+    );
     println!("(paper: communication < 1.2% of service time; contention <= 0.12% of comm time)\n");
 
     banner("§5b: hit-ratio degradation under delayed / compressed index updates (NLANR-uc)");
@@ -122,8 +129,15 @@ fn main() {
         "1000 clients x 8 MB browsers of 8 KB docs = {} entries",
         clients * docs_per_client
     );
-    println!("  16-byte MD5 signatures alone:   {}", human_bytes(md5_only));
-    println!("  exact directory (ours, {}B/entry): {}", BYTES_PER_ENTRY, human_bytes(exact_bytes));
+    println!(
+        "  16-byte MD5 signatures alone:   {}",
+        human_bytes(md5_only)
+    );
+    println!(
+        "  exact directory (ours, {}B/entry): {}",
+        BYTES_PER_ENTRY,
+        human_bytes(exact_bytes)
+    );
     println!(
         "  Bloom summaries (10 bits/doc):   {}  (paper: ~2 MB with tolerable inaccuracy)",
         human_bytes(bloom_bytes)

@@ -11,8 +11,21 @@ use std::process::{Command, Stdio};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "memhit", "overhead",
-        "sharing", "security", "ablation", "latency", "hierarchy",
+        "table1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "memhit",
+        "overhead",
+        "sharing",
+        "security",
+        "ablation",
+        "latency",
+        "hierarchy",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -71,7 +71,14 @@ fn main() {
             format!("{:.2}", 100.0 * (sign_ms + verify_ms) / lan_ms),
         ]);
     }
-    print!("{}", if cli.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if cli.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "\n(paper §6: \"the associated overheads are trivial\" — integrity costs are a few\n\
          percent of a single LAN transfer; the secure relay adds symmetric encryption,\n\

@@ -10,8 +10,6 @@
 
 use baps_trace::{Profile, Trace, TraceStats};
 
-
-
 /// Command-line options common to all experiment binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct Cli {

@@ -31,9 +31,9 @@ impl BrowserSizing {
         let n = n_clients.max(1) as u64;
         match *self {
             BrowserSizing::Minimum => (proxy_capacity / n).max(1),
-            BrowserSizing::AverageK(k) =>
-
-                (((proxy_capacity as f64) * k / n as f64).round() as u64).max(1),
+            BrowserSizing::AverageK(k) => {
+                (((proxy_capacity as f64) * k / n as f64).round() as u64).max(1)
+            }
             BrowserSizing::Fixed(bytes) => bytes,
             BrowserSizing::FractionOfClientInfinite(frac) => {
                 ((mean_client_infinite * frac).round() as u64).max(1)
@@ -141,7 +141,7 @@ impl SystemConfig {
                 return Err(format!("browser_mem_fraction {f} outside [0,1]"));
             }
         }
-        
+
         if self.organization.has_proxy_cache() && self.proxy_capacity == 0 {
             return Err("proxy organizations need proxy_capacity > 0".into());
         }

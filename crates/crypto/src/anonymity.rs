@@ -117,7 +117,9 @@ impl AnonymizingProxy {
 
     /// Drops a transaction (e.g. target no longer holds the document).
     pub fn abort(&mut self, txn: TxnId) -> Result<PeerId, CryptoError> {
-        self.pending.remove(&txn).ok_or(CryptoError::UnknownTransaction)
+        self.pending
+            .remove(&txn)
+            .ok_or(CryptoError::UnknownTransaction)
     }
 }
 
@@ -346,7 +348,9 @@ mod tests {
         // Requester opens and verifies integrity of the plaintext.
         let plain = requester_open(&requester_keys, &delivery).unwrap();
         assert_eq!(plain, doc);
-        assert!(verify_document(&signer.public_key(), &plain, &delivery.delivery.watermark).is_ok());
+        assert!(
+            verify_document(&signer.public_key(), &plain, &delivery.delivery.watermark).is_ok()
+        );
     }
 
     #[test]

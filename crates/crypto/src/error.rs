@@ -42,7 +42,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CryptoError::WatermarkMismatch.to_string().contains("watermark"));
+        assert!(CryptoError::WatermarkMismatch
+            .to_string()
+            .contains("watermark"));
         assert!(CryptoError::BadPadding.to_string().contains("padding"));
     }
 }

@@ -101,8 +101,8 @@ impl CountingBloomIndex {
 
     fn maybe_flush(&mut self, client: ClientId) {
         let state = &self.clients[client.index()];
-        let threshold = ((state.actual.len().max(16) as f64) * self.config.flush_threshold)
-            .ceil() as usize;
+        let threshold =
+            ((state.actual.len().max(16) as f64) * self.config.flush_threshold).ceil() as usize;
         if state.pending.len() >= threshold.max(1) {
             self.flush(client);
         }

@@ -77,7 +77,13 @@ impl ExactIndex {
         let found: Vec<ClientId> = self
             .holders
             .get(&doc)
-            .map(|list| list.iter().rev().filter(|&&c| c != exclude).copied().collect())
+            .map(|list| {
+                list.iter()
+                    .rev()
+                    .filter(|&&c| c != exclude)
+                    .copied()
+                    .collect()
+            })
             .unwrap_or_default();
         if !found.is_empty() {
             self.stats.index_hits += 1;

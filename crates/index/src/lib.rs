@@ -69,7 +69,10 @@ impl IndexModel {
         match self {
             IndexModel::Exact => "exact".to_owned(),
             IndexModel::Delayed { threshold, .. } => format!("delayed({:.0}%)", threshold * 100.0),
-            IndexModel::Bloom { bits_per_item, threshold } => {
+            IndexModel::Bloom {
+                bits_per_item,
+                threshold,
+            } => {
                 format!("bloom({bits_per_item}b,{:.0}%)", threshold * 100.0)
             }
             IndexModel::CountingBloom { slots, threshold } => {

@@ -61,7 +61,11 @@ impl BloomSummaryIndex {
         assert!(config.rebuild_threshold > 0.0);
         let mk = || ClientSummary {
             actual: HashSet::new(),
-            filter: BloomFilter::for_items(config.expected_items, config.bits_per_item, config.hashes),
+            filter: BloomFilter::for_items(
+                config.expected_items,
+                config.bits_per_item,
+                config.hashes,
+            ),
             dirty: 0,
         };
         BloomSummaryIndex {
@@ -93,8 +97,8 @@ impl BloomSummaryIndex {
 
     fn maybe_rebuild(&mut self, client: ClientId) {
         let state = &self.clients[client.index()];
-        let threshold = ((state.actual.len().max(16) as f64) * self.config.rebuild_threshold)
-            .ceil() as u64;
+        let threshold =
+            ((state.actual.len().max(16) as f64) * self.config.rebuild_threshold).ceil() as u64;
         if state.dirty >= threshold.max(1) {
             self.rebuild(client);
         }

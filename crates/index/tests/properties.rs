@@ -1,8 +1,6 @@
 //! Property-based tests of the index structures.
 
-use baps_index::{
-    BloomSummaryIndex, DelayedIndex, ExactIndex, SummaryConfig, UpdatePolicy,
-};
+use baps_index::{BloomSummaryIndex, DelayedIndex, ExactIndex, SummaryConfig, UpdatePolicy};
 use baps_trace::{ClientId, DocId};
 use proptest::prelude::*;
 use std::collections::HashSet;

@@ -2,6 +2,7 @@
 //! logic with end-to-end integrity verification.
 
 use crate::error::ProxyError;
+use crate::pool::WorkerPool;
 use crate::protocol::{read_message, response, response_code, status, write_message, Message};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
@@ -17,6 +18,13 @@ use std::time::{Duration, Instant};
 /// How long a requester waits for a direct peer delivery before falling
 /// back to a peer-bypassing refetch.
 const DELIVERY_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Worker threads serving this client's peer port. PEERGET/PUSH arrive on
+/// short-lived proxy connections and DELIVERY on one-shot pushes, so a
+/// small pool suffices.
+const PEER_WORKERS: usize = 4;
+/// Accept backlog for the peer port.
+const PEER_BACKLOG: usize = 16;
 
 /// Where a fetched document came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +58,31 @@ struct ClientState {
     peer_serves: AtomicU64,
 }
 
+/// A kept-alive connection to the proxy (paired buffered reader + writer
+/// over one TCP stream).
+struct ProxyConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ProxyConn {
+    fn dial(addr: SocketAddr) -> io::Result<ProxyConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ProxyConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One request/response exchange on this connection. `Ok(None)` means
+    /// the proxy closed the connection cleanly before replying.
+    fn exchange(&mut self, msg: &Message) -> io::Result<Option<Message>> {
+        write_message(&mut self.writer, msg)?;
+        read_message(&mut self.reader)
+    }
+}
+
 /// A running client agent.
 pub struct ClientAgent {
     id: u32,
@@ -58,7 +91,17 @@ pub struct ClientAgent {
     state: Arc<ClientState>,
     peer_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    /// Acceptor thread for the peer port; returns the worker pool on exit.
+    handle: Option<JoinHandle<WorkerPool>>,
+    /// The persistent keep-alive connection to the proxy, dialed lazily
+    /// and redialed transparently when the proxy drops it.
+    proxy_conn: Mutex<Option<ProxyConn>>,
+    /// When false, every [`ClientAgent::roundtrip`] dials a fresh
+    /// connection (the pre-keep-alive behaviour, kept for comparison
+    /// benchmarks).
+    keep_alive: AtomicBool,
+    /// Times the persistent connection was found dead and redialed.
+    reconnects: AtomicU64,
 }
 
 impl ClientAgent {
@@ -80,8 +123,18 @@ impl ClientAgent {
             peer_serves: AtomicU64::new(0),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let handle = {
+        let pool = {
             let state = Arc::clone(&state);
+            WorkerPool::start(
+                &format!("baps-client-{id}-peer"),
+                PEER_WORKERS,
+                PEER_BACKLOG,
+                move |stream| {
+                    let _ = serve_peer(stream, &state);
+                },
+            )?
+        };
+        let handle = {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name(format!("baps-client-{id}"))
@@ -91,11 +144,9 @@ impl ClientAgent {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
-                        let state = Arc::clone(&state);
-                        std::thread::spawn(move || {
-                            let _ = serve_peer(stream, &state);
-                        });
+                        pool.dispatch(stream);
                     }
+                    pool
                 })?
         };
         let agent = ClientAgent {
@@ -106,6 +157,9 @@ impl ClientAgent {
             peer_addr,
             shutdown,
             handle: Some(handle),
+            proxy_conn: Mutex::new(None),
+            keep_alive: AtomicBool::new(true),
+            reconnects: AtomicU64::new(0),
         };
         agent.register()?;
         Ok(agent)
@@ -134,6 +188,30 @@ impl ClientAgent {
     /// Test hook: make this client serve corrupted bodies to its peers.
     pub fn set_tamper(&self, tamper: bool) {
         self.state.tamper.store(tamper, Ordering::Release);
+    }
+
+    /// Toggles connection reuse. With keep-alive off every request dials a
+    /// fresh proxy connection (the old behaviour); on (the default) a
+    /// single persistent connection carries all of this client's traffic.
+    pub fn set_keep_alive(&self, keep_alive: bool) {
+        self.keep_alive.store(keep_alive, Ordering::Release);
+        if !keep_alive {
+            *self.proxy_conn.lock() = None;
+        }
+    }
+
+    /// How many times the persistent proxy connection was found dead and
+    /// transparently redialed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Reads the proxy's live counters over the wire (`STATS BAPS/1.0`).
+    /// Returns the raw reply; counter values are in its headers
+    /// (`Requests`, `Proxy-Hits`, `Peer-Hits`, `Origin-Fetches`,
+    /// `Invalidations`, `Peer-Failures`, `Direct-Pushes`).
+    pub fn proxy_stats_raw(&self) -> Result<Message, ProxyError> {
+        self.roundtrip(Message::new("STATS BAPS/1.0"))
     }
 
     fn register(&self) -> Result<(), ProxyError> {
@@ -231,9 +309,7 @@ impl ClientAgent {
                     source: Source::Peer,
                 });
             }
-            other => {
-                return Err(ProxyError::Protocol(format!("bad X-Source: {other:?}")))
-            }
+            other => return Err(ProxyError::Protocol(format!("bad X-Source: {other:?}"))),
         };
         let watermark = reply
             .get("X-Watermark")
@@ -281,16 +357,56 @@ impl ClientAgent {
         Ok(present)
     }
 
+    /// One request/response against the proxy.
+    ///
+    /// With keep-alive on, the persistent connection is dialed lazily on
+    /// first use and reused for every subsequent message. If the proxy
+    /// drops it between requests (restart, [`drop_connections`], idle
+    /// reaping), the exchange fails or returns a clean EOF; the client
+    /// then redials once and replays the message. Only an error on a
+    /// *fresh* connection propagates, so a mid-session connection loss is
+    /// invisible to callers.
+    ///
+    /// [`drop_connections`]: crate::proxy::ProxyServer::drop_connections
     fn roundtrip(&self, msg: Message) -> Result<Message, ProxyError> {
-        let stream = TcpStream::connect(self.proxy_addr)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        write_message(&mut writer, &msg)?;
-        read_message(&mut reader)?
-            .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()))
+        if !self.keep_alive.load(Ordering::Acquire) {
+            let mut conn = ProxyConn::dial(self.proxy_addr)?;
+            return conn
+                .exchange(&msg)?
+                .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()));
+        }
+        let mut guard = self.proxy_conn.lock();
+        let reused = guard.is_some();
+        if guard.is_none() {
+            *guard = Some(ProxyConn::dial(self.proxy_addr)?);
+        }
+        let conn = guard.as_mut().expect("connection dialed above");
+        match conn.exchange(&msg) {
+            Ok(Some(reply)) => Ok(reply),
+            // An error or EOF on a reused connection means it went stale
+            // while idle: reconnect and replay the request once.
+            Ok(None) | Err(_) if reused => {
+                *guard = None;
+                self.reconnects.fetch_add(1, Ordering::Relaxed);
+                let mut conn = ProxyConn::dial(self.proxy_addr)?;
+                let reply = conn
+                    .exchange(&msg)?
+                    .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()))?;
+                *guard = Some(conn);
+                Ok(reply)
+            }
+            Ok(None) => {
+                *guard = None;
+                Err(ProxyError::Protocol("proxy closed connection".into()))
+            }
+            Err(e) => {
+                *guard = None;
+                Err(e.into())
+            }
+        }
     }
 
-    /// Stops the peer-serving thread.
+    /// Stops the peer-serving threads and closes the proxy connection.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -299,9 +415,15 @@ impl ClientAgent {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Close the keep-alive proxy connection so the proxy-side worker
+        // serving it is freed.
+        *self.proxy_conn.lock() = None;
+        // Wake the blocking accept; the acceptor hands the pool back.
         let _ = TcpStream::connect(self.peer_addr);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            if let Ok(pool) = handle.join() {
+                pool.shutdown();
+            }
         }
     }
 }
@@ -319,7 +441,12 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
         let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
-        let reply = match tokens.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        let reply = match tokens
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .as_slice()
+        {
             ["PEERGET", url, "BAPS/1.0"] => match state.cache.lock().get(url) {
                 Some(doc) => {
                     state.peer_serves.fetch_add(1, Ordering::Relaxed);
@@ -356,10 +483,10 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             }
             ["DELIVER", _url, "BAPS/1.0"] => {
                 // Incoming direct delivery for one of our own requests.
-                let parsed = msg
-                    .get("Txn")
-                    .and_then(|t| t.parse::<u64>().ok())
-                    .zip(msg.get("X-Watermark").and_then(|h| Watermark::from_hex(h).ok()));
+                let parsed = msg.get("Txn").and_then(|t| t.parse::<u64>().ok()).zip(
+                    msg.get("X-Watermark")
+                        .and_then(|h| Watermark::from_hex(h).ok()),
+                );
                 match parsed {
                     Some((txn, watermark)) => {
                         state.deliveries.lock().insert(
@@ -394,6 +521,7 @@ fn deliver_to(
         .parse()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad target: {e}")))?;
     let stream = TcpStream::connect_timeout(&addr, DELIVERY_TIMEOUT)?;
+    stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(DELIVERY_TIMEOUT))?;
     let mut writer = stream;
     write_message(

@@ -60,7 +60,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(ProxyError::NotFound("u".into()).to_string().contains("u"));
-        assert!(ProxyError::Protocol("bad".into()).to_string().contains("bad"));
+        assert!(ProxyError::Protocol("bad".into())
+            .to_string()
+            .contains("bad"));
         let io_err: ProxyError = io::Error::other("boom").into();
         assert!(io_err.to_string().contains("boom"));
     }

@@ -15,6 +15,7 @@
 pub mod client;
 pub mod error;
 pub mod origin;
+pub mod pool;
 pub mod protocol;
 pub mod proxy;
 pub mod runtime;
@@ -23,6 +24,7 @@ pub mod store;
 pub use client::{ClientAgent, FetchResult, Source};
 pub use error::ProxyError;
 pub use origin::OriginServer;
+pub use pool::{ConnRegistry, WorkerPool};
 pub use protocol::{read_message, response_code, write_message, Message};
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
 pub use runtime::{TestBed, TestBedConfig};

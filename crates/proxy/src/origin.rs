@@ -1,6 +1,7 @@
 //! The origin Web server: serves the document corpus over the wire
 //! protocol (`GET <url> ORIGIN/1.0`).
 
+use crate::pool::{WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, status, write_message, Message};
 use crate::store::DocumentStore;
 use parking_lot::RwLock;
@@ -14,23 +15,41 @@ use std::thread::JoinHandle;
 pub struct OriginServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    /// Acceptor thread; returns the worker pool on exit for joining.
+    handle: Option<JoinHandle<WorkerPool>>,
     hits: Arc<AtomicU64>,
     store: Arc<RwLock<DocumentStore>>,
 }
 
 impl OriginServer {
-    /// Starts the server on an ephemeral loopback port.
+    /// Starts the server on an ephemeral loopback port with the default
+    /// worker-pool sizing.
     pub fn start(store: DocumentStore) -> io::Result<OriginServer> {
+        OriginServer::start_with_pool(store, DEFAULT_WORKERS, DEFAULT_BACKLOG)
+    }
+
+    /// Starts the server with an explicit worker count and accept backlog.
+    /// Each keep-alive connection (e.g. a proxy's pooled origin
+    /// connection) occupies a worker while open.
+    pub fn start_with_pool(
+        store: DocumentStore,
+        workers: usize,
+        backlog: usize,
+    ) -> io::Result<OriginServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let hits = Arc::new(AtomicU64::new(0));
         let store = Arc::new(RwLock::new(store));
-        let handle = {
-            let shutdown = Arc::clone(&shutdown);
+        let pool = {
             let hits = Arc::clone(&hits);
             let store = Arc::clone(&store);
+            WorkerPool::start("baps-origin-worker", workers, backlog, move |stream| {
+                let _ = serve_connection(stream, &store, &hits);
+            })?
+        };
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("baps-origin".into())
                 .spawn(move || {
@@ -39,12 +58,9 @@ impl OriginServer {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
-                        let hits = Arc::clone(&hits);
-                        let store = Arc::clone(&store);
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &store, &hits);
-                        });
+                        pool.dispatch(stream);
                     }
+                    pool
                 })?
         };
         Ok(OriginServer {
@@ -80,10 +96,12 @@ impl OriginServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Wake the blocking accept.
+        // Wake the blocking accept; the acceptor hands the pool back.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            if let Ok(pool) = handle.join() {
+                pool.shutdown();
+            }
         }
     }
 }
@@ -134,11 +152,7 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = stream;
-        write_message(
-            &mut writer,
-            &Message::new(format!("GET {url} ORIGIN/1.0")),
-        )
-        .unwrap();
+        write_message(&mut writer, &Message::new(format!("GET {url} ORIGIN/1.0"))).unwrap();
         read_message(&mut reader).unwrap().unwrap()
     }
 

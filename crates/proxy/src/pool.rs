@@ -1,0 +1,285 @@
+//! Bounded connection-serving infrastructure shared by the proxy, origin,
+//! and client peer servers.
+//!
+//! The seed runtime spawned one detached `std::thread` per accepted TCP
+//! connection: under a connection flood that exhausts OS threads, and the
+//! detached handlers made clean shutdown impossible once connections became
+//! persistent. This module replaces that with:
+//!
+//! * [`WorkerPool`] — a fixed set of named worker threads pulling accepted
+//!   connections from a **bounded** queue. When the queue is full the new
+//!   connection is dropped (its peer sees EOF and may retry), so a flood
+//!   degrades gracefully instead of taking the process down.
+//! * [`ConnRegistry`] — the set of currently open connections. Keep-alive
+//!   handlers block in `read_message` between requests, so the connect-once
+//!   "wake the acceptor" trick can no longer terminate them; shutdown now
+//!   calls [`TcpStream::shutdown`] on every registered socket, which makes
+//!   each handler's blocking read return and its loop exit.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Default worker threads per server.
+pub const DEFAULT_WORKERS: usize = 8;
+/// Default bounded backlog of accepted-but-unclaimed connections.
+pub const DEFAULT_BACKLOG: usize = 64;
+
+/// Tracks open connections so shutdown can unblock their handlers.
+#[derive(Default)]
+pub struct ConnRegistry {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    closing: AtomicBool,
+}
+
+impl ConnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ConnRegistry {
+        ConnRegistry::default()
+    }
+
+    /// Registers a connection; returns a token for [`Self::deregister`],
+    /// or `None` when the registry is already shutting down (the caller
+    /// should drop the connection instead of serving it).
+    pub fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut conns = self.conns.lock();
+            if self.closing.load(Ordering::Acquire) {
+                return None;
+            }
+            conns.insert(id, clone);
+        }
+        Some(id)
+    }
+
+    /// Removes a finished connection.
+    pub fn deregister(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    /// Number of currently open connections.
+    pub fn open_connections(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// Severs every currently open connection but keeps the registry
+    /// accepting new ones. Ops/test hook: peers with keep-alive
+    /// connections observe an abrupt EOF mid-session and must reconnect.
+    pub fn drop_all(&self) {
+        let conns = std::mem::take(&mut *self.conns.lock());
+        for stream in conns.into_values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Shuts down both directions of every registered socket, forcing any
+    /// handler blocked in a read to observe EOF and exit its serve loop.
+    /// Further registrations are refused.
+    pub fn close_all(&self) {
+        self.closing.store(true, Ordering::Release);
+        self.drop_all();
+    }
+}
+
+/// A fixed-size pool of worker threads serving accepted connections from a
+/// bounded queue.
+pub struct WorkerPool {
+    tx: SyncSender<TcpStream>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<ConnRegistry>,
+    /// Connections dropped because the backlog was full.
+    rejected: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads named `{name}-N`. Each accepted connection
+    /// handed to [`Self::dispatch`] is registered, served by `handler`
+    /// (which typically loops over `read_message`), then deregistered.
+    pub fn start<F>(
+        name: &str,
+        workers: usize,
+        backlog: usize,
+        handler: F,
+    ) -> io::Result<WorkerPool>
+    where
+        F: Fn(TcpStream) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let registry = Arc::new(ConnRegistry::new());
+        let handler = Arc::new(handler);
+        let rejected = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&registry);
+            let handler = Arc::clone(&handler);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&rx, &registry, &*handler))?,
+            );
+        }
+        Ok(WorkerPool {
+            tx,
+            workers: handles,
+            registry,
+            rejected,
+        })
+    }
+
+    /// Queues an accepted connection for a worker. Returns `false` (and
+    /// drops the connection) when the backlog is full or the pool stopped.
+    pub fn dispatch(&self, stream: TcpStream) -> bool {
+        match self.tx.try_send(stream) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Connections dropped because the backlog was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The pool's connection registry (for shutdown and diagnostics).
+    pub fn registry(&self) -> &Arc<ConnRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting new work, unblocks in-flight handlers by closing
+    /// their sockets, and joins every worker thread.
+    pub fn shutdown(mut self) {
+        // Workers exit when the channel disconnects *and* their current
+        // connection's serve loop ends; closing the sockets guarantees the
+        // latter.
+        drop(self.tx);
+        self.registry.close_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<F: Fn(TcpStream) + ?Sized>(
+    rx: &Mutex<Receiver<TcpStream>>,
+    registry: &ConnRegistry,
+    handler: &F,
+) {
+    loop {
+        // Hold the lock only while waiting for the next connection, so
+        // idle workers queue up on the receiver fairly.
+        let stream = {
+            let rx = rx.lock();
+            rx.recv()
+        };
+        let Ok(stream) = stream else { break };
+        // Request/response protocol: never trade latency for batching.
+        let _ = stream.set_nodelay(true);
+        let Some(token) = registry.register(&stream) else {
+            continue; // shutting down: drop the connection
+        };
+        handler(stream);
+        registry.deregister(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn pool_serves_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let pool = WorkerPool::start("test-pool", 2, 4, |mut s: TcpStream| {
+            let mut buf = [0u8; 4];
+            if s.read_exact(&mut buf).is_ok() {
+                let _ = s.write_all(&buf);
+            }
+        })
+        .unwrap();
+        let acceptor = std::thread::spawn({
+            move || {
+                for _ in 0..4 {
+                    let (conn, _) = listener.accept().unwrap();
+                    assert!(pool.dispatch(conn));
+                }
+                pool
+            }
+        });
+        for _ in 0..4 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ping");
+        }
+        let pool = acceptor.join().unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_stuck_handler() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Handler blocks reading until the socket dies.
+        let pool = WorkerPool::start("stuck-pool", 1, 1, |mut s: TcpStream| {
+            let mut buf = [0u8; 1];
+            while let Ok(n) = s.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        assert!(pool.dispatch(conn));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pool.registry().open_connections(), 1);
+        // Without close_all this would hang forever on join.
+        pool.shutdown();
+        drop(client);
+    }
+
+    #[test]
+    fn full_backlog_rejects() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // One worker that blocks forever on its first connection, backlog 1.
+        let pool = WorkerPool::start("flood-pool", 1, 1, |mut s: TcpStream| {
+            let mut buf = [0u8; 1];
+            while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+        })
+        .unwrap();
+        let mut clients = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..8 {
+            clients.push(TcpStream::connect(addr).unwrap());
+            let (conn, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+            if !pool.dispatch(conn) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "flood should overflow a backlog of 1");
+        assert_eq!(pool.rejected(), rejected);
+        pool.shutdown();
+    }
+}

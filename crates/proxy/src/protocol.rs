@@ -19,10 +19,32 @@
 //!   (header `Client: <id>`);
 //! * `REGISTER <peer-port> BAPS/1.0` — client → proxy enrolment
 //!   (header `Client: <id>`);
+//! * `STATS BAPS/1.0` — operator → proxy live-counter probe; the reply
+//!   carries every [`ProxyCounters`] field as a header (`Requests`,
+//!   `Proxy-Hits`, `Peer-Hits`, `Origin-Fetches`, `Invalidations`,
+//!   `Peer-Failures`, `Direct-Pushes`);
 //! * `GET <url> ORIGIN/1.0` — proxy → origin server fetch.
 //!
 //! Responses: `BAPS/1.0 <code> <reason>` with `Content-Length`, `X-Source`
 //! (`proxy` | `peer` | `origin`) and `X-Watermark` (hex, §6.1) headers.
+//!
+//! # Connection lifecycle (keep-alive)
+//!
+//! Every connection is **persistent**: both sides loop
+//! `read_message` → handle → `write_message` until the peer closes, so one
+//! TCP connection carries any number of request/response rounds. Framing
+//! relies entirely on `Content-Length`, which is why [`write_message`]
+//! refuses mismatched or duplicated lengths — one bad frame would
+//! desynchronise every later message on the connection. [`read_message`]
+//! returns `Ok(None)` on a clean close between messages, which handlers
+//! treat as the end of the session. Clients hold one lazily-dialed
+//! connection to the proxy and transparently redial (replaying the
+//! in-flight request once) when the proxy drops it; the proxy keeps a pool
+//! of kept-alive origin connections the same way. Servers run a fixed
+//! worker pool, so each open connection occupies one worker until it
+//! closes (see [`crate::pool`]).
+//!
+//! [`ProxyCounters`]: crate::proxy::ProxyCounters
 
 use std::io::{self, BufRead, Write};
 
@@ -78,8 +100,33 @@ impl Message {
     }
 }
 
-/// Writes a message (adding `Content-Length` when a body is present).
+/// Writes a message, framing the body with exactly one `Content-Length`.
+///
+/// If the caller already set a `Content-Length` header it is kept (never
+/// duplicated) and must match the actual body length — a mismatch returns
+/// `InvalidInput` instead of emitting a frame the receiver would misread.
+/// Duplicated or wrong lengths are fatal under keep-alive: the reader
+/// honours the first header it sees, desynchronising every later message
+/// on the connection.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    if let Some(declared) = msg.get("Content-Length") {
+        let declared: usize = declared.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unparsable Content-Length {declared:?}: {e}"),
+            )
+        })?;
+        if declared != msg.body.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "Content-Length {} does not match body length {}",
+                    declared,
+                    msg.body.len()
+                ),
+            ));
+        }
+    }
     let mut head = String::with_capacity(64 + msg.headers.len() * 32);
     head.push_str(&msg.start);
     head.push_str("\r\n");
@@ -90,12 +137,18 @@ pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
         head.push_str(value);
         head.push_str("\r\n");
     }
-    if !msg.body.is_empty() || msg.get("Content-Length").is_none() {
+    if msg.get("Content-Length").is_none() {
         head.push_str(&format!("Content-Length: {}\r\n", msg.body.len()));
     }
     head.push_str("\r\n");
-    w.write_all(head.as_bytes())?;
-    w.write_all(&msg.body)?;
+    // One write per frame. Writing head and body separately triggers the
+    // Nagle/delayed-ACK interaction on keep-alive connections: the kernel
+    // holds the second small write until the peer ACKs the first, and the
+    // peer delays that ACK up to ~40 ms waiting to piggyback it.
+    let mut frame = Vec::with_capacity(head.len() + msg.body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(&msg.body);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -107,7 +160,10 @@ pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
     }
     let start = start.trim_end().to_owned();
     if start.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty start line"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty start line",
+        ));
     }
     let mut headers = Vec::new();
     loop {
@@ -123,7 +179,10 @@ pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
             break;
         }
         if headers.len() >= MAX_HEADERS {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "too many headers"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
         }
         let (name, value) = line.split_once(':').ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {line}"))
@@ -258,6 +317,62 @@ mod tests {
     fn tokens_split() {
         let m = Message::new("PEERGET http://a/b BAPS/1.0");
         assert_eq!(m.tokens(), vec!["PEERGET", "http://a/b", "BAPS/1.0"]);
+    }
+
+    /// Regression: a caller-supplied `Content-Length` must not be emitted
+    /// twice. The duplicate used to desynchronise keep-alive connections
+    /// (the reader honours the first header, here the caller's copy, while
+    /// the writer appended a second computed one).
+    #[test]
+    fn caller_content_length_not_duplicated() {
+        let body = b"payload".to_vec();
+        let msg = Message::new("BAPS/1.0 200 OK")
+            .header("Content-Length", body.len().to_string())
+            .with_body(body.clone());
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(
+            text.matches("Content-Length").count(),
+            1,
+            "exactly one Content-Length header:\n{text}"
+        );
+        let back = read_message(&mut BufReader::new(Cursor::new(buf)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.body, body);
+    }
+
+    /// Regression: a mismatched caller-supplied `Content-Length` is an
+    /// error, not a silently corrupt frame.
+    #[test]
+    fn mismatched_content_length_rejected() {
+        let msg = Message::new("BAPS/1.0 200 OK")
+            .header("Content-Length", "3")
+            .with_body(b"longer than three".to_vec());
+        let err = write_message(&mut Vec::new(), &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        let msg = Message::new("BAPS/1.0 200 OK").header("Content-Length", "not-a-number");
+        let err = write_message(&mut Vec::new(), &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// Pipelining with caller-set lengths: back-to-back frames stay in sync
+    /// (the keep-alive invariant).
+    #[test]
+    fn pipelined_with_explicit_lengths() {
+        let mut buf = Vec::new();
+        let a = Message::new("BAPS/1.0 200 OK")
+            .header("Content-Length", "2")
+            .with_body(b"ab".to_vec());
+        let b = Message::new("BAPS/1.0 200 OK").with_body(b"xyz".to_vec());
+        write_message(&mut buf, &a).unwrap();
+        write_message(&mut buf, &b).unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        assert_eq!(read_message(&mut r).unwrap().unwrap().body, b"ab");
+        assert_eq!(read_message(&mut r).unwrap().unwrap().body, b"xyz");
+        assert!(read_message(&mut r).unwrap().is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! stamped with a digital watermark signed by the proxy (§6.1); watermarks
 //! travel with cached copies and are verified end to end.
 
+use crate::pool::{ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, response_code, status, write_message, Message};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
@@ -48,6 +49,14 @@ pub struct ProxyConfig {
     /// (the paper's companion anonymity protocols, HPL-2001-204, address
     /// that; the relayed mode keeps full mutual anonymity).
     pub direct_forward: bool,
+    /// Worker threads serving client connections. Each keep-alive
+    /// connection occupies a worker while open, so this bounds the number
+    /// of concurrently connected clients (size it at `n_clients` plus
+    /// headroom for one-shot administrative connections).
+    pub worker_threads: usize,
+    /// Bounded queue of accepted-but-unclaimed connections; when full,
+    /// new connections are dropped (clients see EOF and may retry).
+    pub accept_backlog: usize,
 }
 
 /// Aggregate counters, readable while the proxy runs.
@@ -97,13 +106,18 @@ struct ProxyState {
     signer: ProxySigner,
     counters: ProxyCounters,
     config: ProxyConfig,
+    /// Idle keep-alive connections to the origin, reused across fetches.
+    origin_pool: Mutex<Vec<OriginConn>>,
 }
 
 /// A running browsers-aware proxy.
 pub struct ProxyServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    /// The acceptor thread; it owns the worker pool and hands it back on
+    /// exit so `stop` can join the workers.
+    handle: Option<JoinHandle<WorkerPool>>,
+    registry: Arc<ConnRegistry>,
     state: Arc<ProxyState>,
 }
 
@@ -114,6 +128,16 @@ impl ProxyServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(config.key_seed));
+        let workers = if config.worker_threads == 0 {
+            DEFAULT_WORKERS
+        } else {
+            config.worker_threads
+        };
+        let backlog = if config.accept_backlog == 0 {
+            DEFAULT_BACKLOG
+        } else {
+            config.accept_backlog
+        };
         let state = Arc::new(ProxyState {
             cache: Mutex::new(BodyCache::new(config.cache_capacity)),
             index: Mutex::new(ExactIndex::new()),
@@ -123,10 +147,17 @@ impl ProxyServer {
             signer,
             counters: ProxyCounters::default(),
             config,
+            origin_pool: Mutex::new(Vec::new()),
         });
+        let pool = {
+            let state = Arc::clone(&state);
+            WorkerPool::start("baps-proxy-worker", workers, backlog, move |stream| {
+                let _ = serve_connection(stream, &state);
+            })?
+        };
+        let registry = Arc::clone(pool.registry());
         let handle = {
             let shutdown = Arc::clone(&shutdown);
-            let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("baps-proxy".into())
                 .spawn(move || {
@@ -135,17 +166,18 @@ impl ProxyServer {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
-                        let state = Arc::clone(&state);
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &state);
-                        });
+                        // Bounded dispatch: under a connection flood the
+                        // excess connections are dropped, not threaded.
+                        pool.dispatch(stream);
                     }
+                    pool
                 })?
         };
         Ok(ProxyServer {
             addr,
             shutdown,
             handle: Some(handle),
+            registry,
             state,
         })
     }
@@ -179,7 +211,21 @@ impl ProxyServer {
         self.state.index.lock().entries()
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Client connections currently held open by workers.
+    pub fn open_connections(&self) -> usize {
+        self.registry.open_connections()
+    }
+
+    /// Ops/test hook: abruptly severs every open client connection (and
+    /// discards pooled origin connections) without stopping the server.
+    /// Keep-alive clients observe EOF mid-session and must reconnect.
+    pub fn drop_connections(&self) {
+        self.registry.drop_all();
+        self.state.origin_pool.lock().clear();
+    }
+
+    /// Stops the accept loop, severs open connections, and joins the
+    /// acceptor and worker threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -188,10 +234,16 @@ impl ProxyServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Unblock the acceptor; it checks the flag and returns the pool.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            if let Ok(pool) = handle.join() {
+                // Closes every open connection so looping handlers exit,
+                // then joins the workers.
+                pool.shutdown();
+            }
         }
+        self.state.origin_pool.lock().clear();
     }
 }
 
@@ -237,6 +289,7 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
                 .insert(client, SocketAddr::new(peer_ip, port));
             Some(response(status::OK, "OK"))
         }
+        ["STATS", "BAPS/1.0"] => Some(stats_response(state)),
         _ => Some(response(status::BAD_REQUEST, "Bad Request")),
     }
 }
@@ -300,7 +353,10 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
     // 3. Origin server.
     match fetch_from_origin(state, url) {
         Ok(body) => {
-            state.counters.origin_fetches.fetch_add(1, Ordering::Relaxed);
+            state
+                .counters
+                .origin_fetches
+                .fetch_add(1, Ordering::Relaxed);
             let cached = CachedDoc {
                 watermark: state.signer.watermark(&body),
                 body,
@@ -310,9 +366,10 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
             ok_response("origin", &cached)
         }
         Err(OriginError::NotFound) => response(status::NOT_FOUND, "Not Found"),
-        Err(OriginError::Io(e)) => {
-            response(status::NOT_FOUND, &format!("Origin Unreachable ({})", e.kind()))
-        }
+        Err(OriginError::Io(e)) => response(
+            status::NOT_FOUND,
+            &format!("Origin Unreachable ({})", e.kind()),
+        ),
     }
 }
 
@@ -320,6 +377,36 @@ fn handle_invalidate(url: &str, client: u32, state: &ProxyState) {
     state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
     let doc = doc_id(state, url);
     state.index.lock().on_evict(ClientId(client), doc);
+}
+
+/// Reply for the `STATS BAPS/1.0` verb: every [`ProxyCounters`] field as a
+/// header, so operators (and the load generator) can read live counters
+/// over the wire without a side channel.
+fn stats_response(state: &ProxyState) -> Message {
+    let c = &state.counters;
+    response(status::OK, "OK")
+        .header("Requests", c.requests.load(Ordering::Relaxed).to_string())
+        .header(
+            "Proxy-Hits",
+            c.proxy_hits.load(Ordering::Relaxed).to_string(),
+        )
+        .header("Peer-Hits", c.peer_hits.load(Ordering::Relaxed).to_string())
+        .header(
+            "Origin-Fetches",
+            c.origin_fetches.load(Ordering::Relaxed).to_string(),
+        )
+        .header(
+            "Invalidations",
+            c.invalidations.load(Ordering::Relaxed).to_string(),
+        )
+        .header(
+            "Peer-Failures",
+            c.peer_failures.load(Ordering::Relaxed).to_string(),
+        )
+        .header(
+            "Direct-Pushes",
+            c.direct_pushes.load(Ordering::Relaxed).to_string(),
+        )
 }
 
 fn ok_response(source: &str, doc: &CachedDoc) -> Message {
@@ -346,14 +433,14 @@ fn fetch_from_peer(
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<CachedDoc> {
         let stream = TcpStream::connect_timeout(&addr, PEER_TIMEOUT)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(PEER_TIMEOUT))?;
         stream.set_write_timeout(Some(PEER_TIMEOUT))?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         write_message(
             &mut writer,
-            &Message::new(format!("PEERGET {url} BAPS/1.0"))
-                .header("Txn", order.txn.0.to_string()),
+            &Message::new(format!("PEERGET {url} BAPS/1.0")).header("Txn", order.txn.0.to_string()),
         )?;
         let reply = read_message(&mut reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
@@ -411,6 +498,7 @@ fn order_direct_push(
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<()> {
         let stream = TcpStream::connect_timeout(&peer_addr, PEER_TIMEOUT)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(PEER_TIMEOUT))?;
         stream.set_write_timeout(Some(PEER_TIMEOUT))?;
         let mut reader = BufReader::new(stream.try_clone()?);
@@ -445,16 +533,63 @@ enum OriginError {
     Io(io::Error),
 }
 
+/// A kept-alive connection to the origin server.
+struct OriginConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn origin_dial(state: &ProxyState) -> io::Result<OriginConn> {
+    let stream = TcpStream::connect(state.config.origin_addr)?;
+    stream.set_nodelay(true)?;
+    Ok(OriginConn {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: stream,
+    })
+}
+
+fn origin_request(conn: &mut OriginConn, url: &str) -> io::Result<Message> {
+    write_message(
+        &mut conn.writer,
+        &Message::new(format!("GET {url} ORIGIN/1.0")),
+    )?;
+    read_message(&mut conn.reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "origin closed connection"))
+}
+
+/// Fetches `url` over a pooled keep-alive origin connection. A checked-out
+/// connection may have gone stale since its last use (origin restart, RST);
+/// in that case the fetch retries exactly once on a fresh dial. Connections
+/// that completed a well-framed exchange are checked back in, capped at the
+/// worker count (at most one origin connection per concurrently fetching
+/// worker is ever useful).
 fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginError> {
-    let stream =
-        TcpStream::connect(state.config.origin_addr).map_err(OriginError::Io)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(OriginError::Io)?);
-    let mut writer = stream;
-    write_message(&mut writer, &Message::new(format!("GET {url} ORIGIN/1.0")))
-        .map_err(OriginError::Io)?;
-    let reply = read_message(&mut reader)
-        .map_err(OriginError::Io)?
-        .ok_or_else(|| OriginError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")))?;
+    let pooled = state.origin_pool.lock().pop();
+    let reused = pooled.is_some();
+    let mut conn = match pooled {
+        Some(conn) => conn,
+        None => origin_dial(state).map_err(OriginError::Io)?,
+    };
+    let reply = match origin_request(&mut conn, url) {
+        Ok(reply) => reply,
+        Err(_) if reused => {
+            conn = origin_dial(state).map_err(OriginError::Io)?;
+            origin_request(&mut conn, url).map_err(OriginError::Io)?
+        }
+        Err(e) => return Err(OriginError::Io(e)),
+    };
+    // Even a 404 leaves the framing in sync, so the connection stays
+    // reusable either way.
+    let cap = if state.config.worker_threads == 0 {
+        crate::pool::DEFAULT_WORKERS
+    } else {
+        state.config.worker_threads
+    };
+    let mut pool = state.origin_pool.lock();
+    if pool.len() < cap {
+        pool.push(conn);
+    }
+    drop(pool);
     match response_code(&reply) {
         Some(status::OK) => Ok(reply.body),
         _ => Err(OriginError::NotFound),

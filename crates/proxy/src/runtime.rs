@@ -21,6 +21,12 @@ pub struct TestBedConfig {
     pub direct_forward: bool,
     /// Seed for the proxy's key pair.
     pub key_seed: u64,
+    /// Proxy worker threads. `0` (the default) sizes the pool
+    /// automatically: one worker per client's keep-alive connection plus
+    /// headroom for one-shot administrative connections.
+    pub proxy_workers: usize,
+    /// Proxy accept backlog. `0` (the default) uses the library default.
+    pub proxy_backlog: usize,
 }
 
 impl Default for TestBedConfig {
@@ -32,6 +38,8 @@ impl Default for TestBedConfig {
             cache_peer_hits: false,
             direct_forward: false,
             key_seed: 0xbaf5,
+            proxy_workers: 0,
+            proxy_backlog: 0,
         }
     }
 }
@@ -49,6 +57,15 @@ pub struct TestBed {
 impl TestBed {
     /// Starts everything on ephemeral loopback ports.
     pub fn start(store: DocumentStore, config: TestBedConfig) -> Result<TestBed, ProxyError> {
+        // Every client keeps one persistent connection to the proxy, and
+        // each open connection occupies a proxy worker — so the automatic
+        // sizing scales with the client count (plus headroom for one-shot
+        // connections such as a STATS probe).
+        let workers = if config.proxy_workers == 0 {
+            (config.n_clients as usize + 4).max(crate::pool::DEFAULT_WORKERS)
+        } else {
+            config.proxy_workers
+        };
         let origin = OriginServer::start(store)?;
         let proxy = ProxyServer::start(ProxyConfig {
             cache_capacity: config.proxy_capacity,
@@ -56,6 +73,8 @@ impl TestBed {
             key_seed: config.key_seed,
             cache_peer_hits: config.cache_peer_hits,
             direct_forward: config.direct_forward,
+            worker_threads: workers,
+            accept_backlog: config.proxy_backlog,
         })?;
         let key = proxy.public_key();
         let clients = (0..config.n_clients)

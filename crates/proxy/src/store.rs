@@ -109,9 +109,7 @@ impl BodyCache {
 
     /// Whether `url` is cached (no promotion).
     pub fn contains(&self, url: &str) -> bool {
-        self.urls
-            .get(url)
-            .is_some_and(|id| self.lru.contains(&id))
+        self.urls.get(url).is_some_and(|id| self.lru.contains(&id))
     }
 
     /// Inserts a document; returns the URLs evicted to make room

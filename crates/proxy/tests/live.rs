@@ -213,7 +213,10 @@ fn direct_forward_peer_delivery() {
     assert_eq!(stats.peer_hits, 1);
     assert_eq!(stats.direct_pushes, 1, "must be a direct push, not a relay");
     // The requester cached the delivery: next access is local.
-    assert_eq!(bed.clients[1].fetch(url0).unwrap().source, Source::LocalBrowser);
+    assert_eq!(
+        bed.clients[1].fetch(url0).unwrap().source,
+        Source::LocalBrowser
+    );
     bed.shutdown();
 }
 
@@ -244,5 +247,86 @@ fn direct_forward_tampering_detected() {
     let r1 = bed.clients[1].fetch(url0).unwrap();
     assert_eq!(r1.body, r0.body);
     assert_ne!(r1.source, Source::Peer);
+    bed.shutdown();
+}
+
+#[test]
+fn stats_verb_over_one_keepalive_connection() {
+    use baps_proxy::{read_message, response_code, write_message, Message};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    let bed = bed(2, 64 << 10, 32 << 10);
+    bed.clients[0].fetch("http://origin/doc/0").unwrap();
+    bed.clients[1].fetch("http://origin/doc/0").unwrap();
+
+    // Several exchanges over a single raw connection: a GET, then STATS,
+    // then STATS again — the connection stays framed throughout.
+    let stream = TcpStream::connect(bed.proxy.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    write_message(
+        &mut writer,
+        &Message::new("GET http://origin/doc/1 BAPS/1.0").header("Client", "0"),
+    )
+    .unwrap();
+    let reply = read_message(&mut reader).unwrap().unwrap();
+    assert_eq!(response_code(&reply), Some(200));
+
+    for _ in 0..2 {
+        write_message(&mut writer, &Message::new("STATS BAPS/1.0")).unwrap();
+        let stats_reply = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(response_code(&stats_reply), Some(200));
+        let stats = bed.proxy.stats();
+        let field = |name: &str| -> u64 { stats_reply.get(name).unwrap().parse().unwrap() };
+        assert_eq!(field("Requests"), stats.requests);
+        assert_eq!(field("Proxy-Hits"), stats.proxy_hits);
+        assert_eq!(field("Peer-Hits"), stats.peer_hits);
+        assert_eq!(field("Origin-Fetches"), stats.origin_fetches);
+        assert_eq!(field("Invalidations"), stats.invalidations);
+        assert_eq!(field("Peer-Failures"), stats.peer_failures);
+        assert_eq!(field("Direct-Pushes"), stats.direct_pushes);
+        assert!(stats.requests >= 3);
+    }
+    bed.shutdown();
+}
+
+#[test]
+fn stats_via_client_helper() {
+    let bed = bed(1, 64 << 10, 32 << 10);
+    bed.clients[0].fetch("http://origin/doc/2").unwrap();
+    let reply = bed.clients[0].proxy_stats_raw().unwrap();
+    assert_eq!(reply.get("Requests").unwrap(), "1");
+    assert_eq!(reply.get("Origin-Fetches").unwrap(), "1");
+    bed.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let bed = bed(1, 64 << 10, 32 << 10);
+    // Drive enough distinct URLs that every fetch goes to the proxy.
+    for i in 0..8 {
+        bed.clients[0]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+    // One persistent client connection held open, zero forced reconnects.
+    assert_eq!(bed.clients[0].reconnects(), 0);
+    assert_eq!(bed.proxy.open_connections(), 1);
+    bed.shutdown();
+}
+
+#[test]
+fn per_request_mode_still_works() {
+    let bed = bed(2, 64 << 10, 32 << 10);
+    for client in &bed.clients {
+        client.set_keep_alive(false);
+    }
+    let r0 = bed.clients[0].fetch("http://origin/doc/3").unwrap();
+    assert_eq!(r0.source, Source::Origin);
+    let r1 = bed.clients[1].fetch("http://origin/doc/3").unwrap();
+    assert_eq!(r1.source, Source::Proxy);
+    assert_eq!(r1.body, r0.body);
     bed.shutdown();
 }

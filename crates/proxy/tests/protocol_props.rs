@@ -12,7 +12,9 @@ fn header_name() -> impl Strategy<Value = String> {
 
 /// Header values: printable, no CR/LF, trimmed equals itself.
 fn header_value() -> impl Strategy<Value = String> {
-    "[!-~][ -~]{0,40}".prop_map(|s| s.trim().to_owned()).prop_filter("non-empty", |s| !s.is_empty())
+    "[!-~][ -~]{0,40}"
+        .prop_map(|s| s.trim().to_owned())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 fn message() -> impl Strategy<Value = Message> {

@@ -97,6 +97,14 @@ pub fn run(
 }
 
 /// Replays `trace` with explicit [`RunOptions`] (warm-up exclusion).
+///
+/// # Panics
+///
+/// Panics when `warmup_frac` lies outside `[0, 1)`, or when a nonzero
+/// `warmup_frac` rounds to zero requests or swallows the whole trace —
+/// either way the caller asked for a warm-up that cannot happen, and
+/// silently measuring warm-up requests (or measuring nothing) would
+/// corrupt the reported metrics.
 pub fn run_with_options(
     trace: &Trace,
     stats: &TraceStats,
@@ -104,7 +112,11 @@ pub fn run_with_options(
     latency: &LatencyParams,
     options: &RunOptions,
 ) -> RunResult {
-    assert!((0.0..1.0).contains(&options.warmup_frac) || options.warmup_frac == 0.0);
+    assert!(
+        (0.0..1.0).contains(&options.warmup_frac),
+        "warmup_frac {} outside [0, 1)",
+        options.warmup_frac
+    );
     let mut system = SimSystem::new(
         *cfg,
         trace.n_clients,
@@ -112,6 +124,21 @@ pub fn run_with_options(
         *latency,
     );
     let warmup = ((trace.len() as f64) * options.warmup_frac) as usize;
+    if options.warmup_frac > 0.0 {
+        assert!(
+            warmup > 0,
+            "warmup_frac {} rounds to zero requests on a {}-request trace; \
+             use warmup_frac = 0.0 to disable warm-up explicitly",
+            options.warmup_frac,
+            trace.len()
+        );
+        assert!(
+            warmup < trace.len(),
+            "warmup_frac {} covers all {} requests, leaving nothing to measure",
+            options.warmup_frac,
+            trace.len()
+        );
+    }
     let mut histograms = ClassHistograms::default();
     for (i, req) in trace.iter().enumerate() {
         if i == warmup && warmup > 0 {
@@ -255,6 +282,28 @@ mod tests {
         let cold = run(&trace, &stats, &cfg, &LatencyParams::paper());
         assert!(warmed.hit_ratio() >= cold.hit_ratio() - 1.0);
         assert_eq!(warmed.histograms.all.count(), warmed.metrics.requests());
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds to zero requests")]
+    fn warmup_rounding_to_zero_rejected() {
+        // 1e-9 of a small trace truncates to zero warm-up requests: the
+        // caller asked for warm-up but would silently measure everything.
+        let trace = small_trace();
+        let stats = TraceStats::compute(&trace);
+        let cfg = SystemConfig::paper_default(Organization::BrowsersAware, 1 << 20);
+        let opts = RunOptions { warmup_frac: 1e-9 };
+        run_with_options(&trace, &stats, &cfg, &LatencyParams::paper(), &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn warmup_frac_one_rejected() {
+        let trace = small_trace();
+        let stats = TraceStats::compute(&trace);
+        let cfg = SystemConfig::paper_default(Organization::BrowsersAware, 1 << 20);
+        let opts = RunOptions { warmup_frac: 1.0 };
+        run_with_options(&trace, &stats, &cfg, &LatencyParams::paper(), &opts);
     }
 
     #[test]

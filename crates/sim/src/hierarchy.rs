@@ -182,7 +182,9 @@ impl HierSystem {
         assert!((0.0..=1.0).contains(&cfg.mem_fraction));
         let indexes = match cfg.mode {
             SharingMode::NoSharing => Vec::new(),
-            SharingMode::GroupBrowsersAware => (0..cfg.n_groups).map(|_| ExactIndex::new()).collect(),
+            SharingMode::GroupBrowsersAware => {
+                (0..cfg.n_groups).map(|_| ExactIndex::new()).collect()
+            }
             SharingMode::GlobalBrowsersAware => vec![ExactIndex::new()],
         };
         HierSystem {
@@ -260,9 +262,7 @@ impl HierSystem {
         // 1. Local browser.
         match self.browsers[client.index()].size_of(&doc) {
             Some(cached) if cached == size => {
-                let (_, tier) = self.browsers[client.index()]
-                    .touch(&doc)
-                    .expect("present");
+                let (_, tier) = self.browsers[client.index()].touch(&doc).expect("present");
                 self.account_tier(tier, size);
                 self.metrics.record(HierHit::LocalBrowser, size);
                 return HierHit::LocalBrowser;
@@ -335,11 +335,7 @@ impl HierSystem {
 }
 
 /// Replays a trace through a hierarchical system.
-pub fn run_hierarchy(
-    trace: &Trace,
-    cfg: &HierarchyConfig,
-    latency: &LatencyParams,
-) -> HierSystem {
+pub fn run_hierarchy(trace: &Trace, cfg: &HierarchyConfig, latency: &LatencyParams) -> HierSystem {
     let mut system = HierSystem::new(*cfg, trace.n_clients, *latency);
     for req in trace.iter() {
         system.process(req);
@@ -395,9 +391,13 @@ mod tests {
 
     #[test]
     fn group_sharing_stays_in_group() {
-        let mut s = HierSystem::new(cfg(SharingMode::GroupBrowsersAware), 4, LatencyParams::paper());
+        let mut s = HierSystem::new(
+            cfg(SharingMode::GroupBrowsersAware),
+            4,
+            LatencyParams::paper(),
+        );
         s.process(&req(0, 0, 1, 900)); // group 0 browser holds doc 1
-        // Evict from both proxy levels by churning bigger docs.
+                                       // Evict from both proxy levels by churning bigger docs.
         for i in 0..200u32 {
             s.process(&req(1 + i as u64, 2, 100 + i, 900));
         }
@@ -409,7 +409,11 @@ mod tests {
             assert_eq!(class_same_group, HierHit::RemoteBrowser);
         }
         // A different-group client can never be served by group 0's index.
-        let mut s2 = HierSystem::new(cfg(SharingMode::GroupBrowsersAware), 4, LatencyParams::paper());
+        let mut s2 = HierSystem::new(
+            cfg(SharingMode::GroupBrowsersAware),
+            4,
+            LatencyParams::paper(),
+        );
         s2.process(&req(0, 0, 1, 900));
         for i in 0..200u32 {
             s2.process(&req(1 + i as u64, 2, 100 + i, 900));
@@ -421,7 +425,11 @@ mod tests {
 
     #[test]
     fn global_sharing_crosses_groups() {
-        let mut s = HierSystem::new(cfg(SharingMode::GlobalBrowsersAware), 4, LatencyParams::paper());
+        let mut s = HierSystem::new(
+            cfg(SharingMode::GlobalBrowsersAware),
+            4,
+            LatencyParams::paper(),
+        );
         s.process(&req(0, 0, 1, 900));
         // Churn both proxy levels out of doc 1.
         for i in 0..200u32 {
@@ -482,7 +490,10 @@ mod tests {
         );
         assert!(group.metrics.hit_ratio() >= base.metrics.hit_ratio());
         assert!(global.metrics.hit_ratio() >= group.metrics.hit_ratio());
-        assert!(global.metrics.count(HierHit::RemoteBrowser) >= group.metrics.count(HierHit::RemoteBrowser));
+        assert!(
+            global.metrics.count(HierHit::RemoteBrowser)
+                >= group.metrics.count(HierHit::RemoteBrowser)
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! * [`SimSystem`] — browser caches + proxy cache + browser index with the
 //!   per-organization routing logic;
 //! * [`run`] / [`run_simple`] — single replays producing a [`RunResult`];
-//! * [`run_sweep`] — parallel parameter sweeps (crossbeam scoped threads;
-//!   results bit-identical to serial execution);
+//! * [`run_sweep`] — parallel parameter sweeps (`std::thread::scope`
+//!   workers; results bit-identical to serial execution);
 //! * [`run_scaling`] — the Fig. 8 client-population scaling experiment;
 //! * [`LatencyModel`] / [`LatencyTotals`] — the §4.2/§5 analytic service
 //!   time model with shared-LAN contention;
@@ -26,7 +26,9 @@ pub mod sweep;
 pub mod system;
 
 pub use engine::{run, run_simple, run_with_options, ClassHistograms, RunOptions, RunResult};
-pub use hierarchy::{run_hierarchy, HierHit, HierMetrics, HierSystem, HierarchyConfig, SharingMode};
+pub use hierarchy::{
+    run_hierarchy, HierHit, HierMetrics, HierSystem, HierarchyConfig, SharingMode,
+};
 pub use histo::LatencyHistogram;
 pub use latency::{LanBus, LatencyModel, LatencyTotals};
 pub use metrics::{ClassCounter, Metrics};

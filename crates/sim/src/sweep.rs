@@ -1,7 +1,7 @@
 //! Parallel parameter sweeps.
 //!
 //! Each (configuration) replay is single-threaded and deterministic; a sweep
-//! fans the independent replays out over crossbeam scoped threads, so
+//! fans the independent replays out over `std::thread::scope` workers, so
 //! results are bit-identical to running them serially, just wall-clock
 //! faster. This is how every multi-point figure in the paper is produced.
 
@@ -30,11 +30,11 @@ pub fn run_sweep(
     // reassembles input order.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
@@ -43,8 +43,7 @@ pub fn run_sweep(
                 tx.send((i, result)).expect("coordinator alive");
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     drop(tx);
     let mut results: Vec<Option<RunResult>> = vec![None; configs.len()];
     for (i, r) in rx {
@@ -102,7 +101,12 @@ mod tests {
         assert_eq!(parallel.len(), configs.len());
         for (cfg, result) in configs.iter().zip(&parallel) {
             let serial = run_simple(&trace, cfg);
-            assert_eq!(serial.metrics, result.metrics, "{}", cfg.organization.name());
+            assert_eq!(
+                serial.metrics,
+                result.metrics,
+                "{}",
+                cfg.organization.name()
+            );
         }
     }
 

@@ -113,9 +113,10 @@ impl SimSystem {
         let browser_capacity =
             cfg.browser_sizing
                 .resolve(cfg.proxy_capacity, n_clients, mean_client_infinite);
-        let proxy = cfg.organization.has_proxy_cache().then(|| {
-            SimCache::new(cfg.policy, cfg.proxy_capacity, cfg.mem_fraction)
-        });
+        let proxy = cfg
+            .organization
+            .has_proxy_cache()
+            .then(|| SimCache::new(cfg.policy, cfg.proxy_capacity, cfg.mem_fraction));
         let browser_mem = cfg.browser_mem_fraction.unwrap_or(cfg.mem_fraction);
         let browsers = if cfg.organization.has_browser_caches() {
             (0..n_clients)
@@ -568,7 +569,7 @@ mod tests {
         let mut s = SimSystem::new(cfg, 4, 0.0, LatencyParams::paper());
         s.process(&req(0, 0, 1, 900));
         s.process(&req(1, 2, 2, 900)); // evict doc 1 from the tiny proxy
-        // Within TTL a peer hit works.
+                                       // Within TTL a peer hit works.
         assert_eq!(s.process(&req(500, 1, 1, 900)), HitClass::RemoteBrowser);
         // Far beyond the TTL the peer copy is expired: fall through to miss.
         assert_eq!(s.process(&req(60_000, 3, 1, 900)), HitClass::Miss);

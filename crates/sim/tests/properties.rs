@@ -42,8 +42,7 @@ fn config_strategy() -> impl Strategy<Value = SystemConfig> {
         0.0f64..=1.0,
     )
         .prop_map(|(org_idx, proxy_capacity, browser_sizing, mem_fraction)| {
-            let mut cfg =
-                SystemConfig::paper_default(Organization::all()[org_idx], proxy_capacity);
+            let mut cfg = SystemConfig::paper_default(Organization::all()[org_idx], proxy_capacity);
             cfg.browser_sizing = browser_sizing;
             cfg.mem_fraction = mem_fraction;
             cfg

@@ -55,8 +55,8 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
     }
     let mut name_bytes = vec![0u8; name_len];
     r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let n_clients = read_u32(r)?;
     let n_docs = read_u32(r)?;
     let n = read_u64(r)?;

@@ -110,7 +110,7 @@ cs22 790000004.0 u19 http://cs.bu.edu/none 0 0.0
         let (trace, urls, clients) =
             parse_bu(Cursor::new(SAMPLE), "bu", &BuOptions::default()).unwrap();
         assert_eq!(trace.len(), 4); // zero-size row dropped
-        // cs20:u17, cs21, cs20:u18 are distinct clients.
+                                    // cs20:u17, cs21, cs20:u18 are distinct clients.
         assert_eq!(clients.len(), 3);
         assert_eq!(urls.len(), 2);
         assert_eq!(trace.requests[0].time_ms, 0);

@@ -35,11 +35,8 @@ impl Zipf {
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
         let h_x1 = Self::h_integral(1.5, alpha) - 1.0;
         let h_n = Self::h_integral(n as f64 + 0.5, alpha);
-        let s = 2.0
-            - Self::h_integral_inv(
-                Self::h_integral(2.5, alpha) - Self::h(2.0, alpha),
-                alpha,
-            );
+        let s =
+            2.0 - Self::h_integral_inv(Self::h_integral(2.5, alpha) - Self::h(2.0, alpha), alpha);
         Zipf {
             n,
             alpha,

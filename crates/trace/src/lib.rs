@@ -34,8 +34,8 @@ pub mod types;
 
 pub use binio::{read_trace, write_trace};
 pub use bu::{parse_bu, BuOptions};
-pub use export::{write_squid_log, ExportNames};
 pub use dist::{DocSize, Exponential, LogNormal, Pareto, WeightedIndex, Zipf};
+pub use export::{write_squid_log, ExportNames};
 pub use profiles::{PaperTargets, Profile};
 pub use sharing::SharingStats;
 pub use squid::{parse_squid, ParseError, SquidOptions};

@@ -79,7 +79,7 @@ impl Profile {
                 total_gb: 4.6,
                 infinite_gb: 3.9,
                 clients: 220,
-                max_hit_ratio: 33.0,  // approx: garbled in text
+                max_hit_ratio: 33.0,      // approx: garbled in text
                 max_byte_hit_ratio: 14.8, // legible
                 approx: true,
             },
@@ -88,7 +88,7 @@ impl Profile {
                 total_gb: 3.2,
                 infinite_gb: 2.3,
                 clients: 180,
-                max_hit_ratio: 45.0,  // approx
+                max_hit_ratio: 45.0,       // approx
                 max_byte_hit_ratio: 28.79, // legible
                 approx: true,
             },
@@ -97,7 +97,7 @@ impl Profile {
                 total_gb: 2.6,
                 infinite_gb: 1.6,
                 clients: 591,
-                max_hit_ratio: 60.0,  // approx; BU-95 has strong locality
+                max_hit_ratio: 60.0,       // approx; BU-95 has strong locality
                 max_byte_hit_ratio: 31.37, // legible
                 approx: true,
             },
@@ -106,7 +106,7 @@ impl Profile {
                 total_gb: 1.9,
                 infinite_gb: 1.3,
                 clients: 306,
-                max_hit_ratio: 45.0,  // approx
+                max_hit_ratio: 45.0,       // approx
                 max_byte_hit_ratio: 30.94, // legible as "3?.94"
                 approx: true,
             },
@@ -115,7 +115,7 @@ impl Profile {
                 total_gb: 2.4,
                 infinite_gb: 1.7,
                 clients: 3,
-                max_hit_ratio: 42.0,  // approx
+                max_hit_ratio: 42.0,       // approx
                 max_byte_hit_ratio: 29.84, // legible
                 approx: true,
             },

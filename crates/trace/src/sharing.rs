@@ -219,7 +219,11 @@ mod tests {
     fn synthetic_trace_has_sharable_locality() {
         let t = SynthConfig::small().scaled(0.3).generate(22);
         let s = SharingStats::compute(&t);
-        assert!(s.sharable_request_pct() > 10.0, "{}", s.sharable_request_pct());
+        assert!(
+            s.sharable_request_pct() > 10.0,
+            "{}",
+            s.sharable_request_pct()
+        );
         assert!(s.shared_doc_pct() > 1.0);
         assert!(s.unique_docs() > 0);
     }

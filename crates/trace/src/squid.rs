@@ -192,8 +192,7 @@ mod tests {
 
     #[test]
     fn same_url_same_doc_id() {
-        let (trace, ..) =
-            parse_squid(Cursor::new(SAMPLE), "t", &SquidOptions::default()).unwrap();
+        let (trace, ..) = parse_squid(Cursor::new(SAMPLE), "t", &SquidOptions::default()).unwrap();
         assert_eq!(trace.requests[0].doc, trace.requests[2].doc);
     }
 }

@@ -281,8 +281,7 @@ impl SynthConfig {
                 let first = stack[pick(&mut rng)];
                 if rng.gen::<f64>() < self.pop_size_bias {
                     let second = stack[pick(&mut rng)];
-                    if sizes[second as usize] != 0
-                        && sizes[second as usize] < sizes[first as usize]
+                    if sizes[second as usize] != 0 && sizes[second as usize] < sizes[first as usize]
                     {
                         second
                     } else {

@@ -9,18 +9,18 @@ use std::io::BufReader;
 
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
     (
-        2u32..24,            // clients
-        200u64..3_000,       // requests
-        0.2f64..1.2,         // doc_alpha
-        0.0f64..0.9,         // client_alpha
-        0.0f64..0.5,         // p_private
-        0.0f64..0.4,         // private_frac
-        0.0f64..0.5,         // p_group
-        1u32..6,             // group_count
-        0.0f64..0.4,         // group_frac
-        0.0f64..0.7,         // p_temporal
-        0.0f64..1.0,         // pop_size_bias
-        0.0f64..0.05,        // p_size_change
+        2u32..24,      // clients
+        200u64..3_000, // requests
+        0.2f64..1.2,   // doc_alpha
+        0.0f64..0.9,   // client_alpha
+        0.0f64..0.5,   // p_private
+        0.0f64..0.4,   // private_frac
+        0.0f64..0.5,   // p_group
+        1u32..6,       // group_count
+        0.0f64..0.4,   // group_frac
+        0.0f64..0.7,   // p_temporal
+        0.0f64..1.0,   // pop_size_bias
+        0.0f64..0.05,  // p_size_change
     )
         .prop_map(
             |(

@@ -19,14 +19,7 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "groups",
-        "sharing",
-        "HR %",
-        "local %",
-        "L1 %",
-        "remote %",
-        "L2 %",
-        "miss %",
+        "groups", "sharing", "HR %", "local %", "L1 %", "remote %", "L2 %", "miss %",
     ]);
     for n_groups in [2u32, 4, 8] {
         for mode in [

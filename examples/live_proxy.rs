@@ -34,7 +34,11 @@ fn main() {
 
     // 1. Cold fetch: proxy pulls from the origin, signs a watermark.
     let r = bed.clients[0].fetch(url).unwrap();
-    println!("client 0 GET {url} -> {:?} ({} bytes)", r.source, r.body.len());
+    println!(
+        "client 0 GET {url} -> {:?} ({} bytes)",
+        r.source,
+        r.body.len()
+    );
     assert_eq!(r.source, Source::Origin);
 
     // 2. Flood the tiny proxy cache so doc/0 is evicted from it.
@@ -48,7 +52,10 @@ fn main() {
     // 3. Client 1 asks for doc/0: proxy misses, consults the browser index,
     //    and fetches it from client 0's browser cache — anonymously.
     let r = bed.clients[1].fetch(url).unwrap();
-    println!("client 1 GET {url} -> {:?} (peer-served, watermark verified)", r.source);
+    println!(
+        "client 1 GET {url} -> {:?} (peer-served, watermark verified)",
+        r.source
+    );
     assert_eq!(r.source, Source::Peer);
 
     // 4. A tampering peer is caught by the watermark and bypassed.

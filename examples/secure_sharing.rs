@@ -68,7 +68,14 @@ fn main() {
     let (_, sealed_delivery) = secure.complete(reply, &requester_keys.public).unwrap();
     let plaintext = requester_open(&requester_keys, &sealed_delivery).unwrap();
     assert_eq!(plaintext, document);
-    verify_document(&proxy_signer.public_key(), &plaintext, &sealed_delivery.delivery.watermark)
-        .expect("end-to-end integrity");
-    println!("requester decrypted {} bytes and verified the watermark end-to-end", plaintext.len());
+    verify_document(
+        &proxy_signer.public_key(),
+        &plaintext,
+        &sealed_delivery.delivery.watermark,
+    )
+    .expect("end-to-end integrity");
+    println!(
+        "requester decrypted {} bytes and verified the watermark end-to-end",
+        plaintext.len()
+    );
 }

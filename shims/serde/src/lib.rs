@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op derive macros from the sibling `serde_derive`
+//! shim. See that crate for rationale. Swap both shims for the real
+//! crates.io packages (and delete the `path` overrides in the workspace
+//! `Cargo.toml`) once network access exists.
+
+pub use serde_derive::{Deserialize, Serialize};

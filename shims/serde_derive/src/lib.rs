@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so a
+//! real serializer can be plugged in when crates.io access exists, but no
+//! code path actually serializes today. These derive macros therefore
+//! expand to nothing — they only need to *exist* so the derives compile
+//! offline. The `#[serde(...)]` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -270,8 +270,12 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("fetch: {e}"))?;
         record(&r);
     }
-    bed.clients[1].evict(url0).map_err(|e| format!("evict: {e}"))?;
-    let r = bed.clients[1].fetch(url0).map_err(|e| format!("fetch: {e}"))?;
+    bed.clients[1]
+        .evict(url0)
+        .map_err(|e| format!("evict: {e}"))?;
+    let r = bed.clients[1]
+        .fetch(url0)
+        .map_err(|e| format!("fetch: {e}"))?;
     record(&r);
     println!(
         "  client 1 re-fetched doc/0 after proxy churn: {:?}{}",

@@ -48,7 +48,11 @@ fn generate_info_simulate_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace_path.exists());
     assert!(squid_path.exists());
 
@@ -71,7 +75,11 @@ fn generate_info_simulate_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("browsers-aware-proxy-server"));
     assert!(text.contains("proxy-and-local-browser"));
@@ -82,7 +90,10 @@ fn generate_info_simulate_pipeline() {
 
 #[test]
 fn generate_requires_profile() {
-    let out = baps().args(["generate", "--out", "/tmp/x"]).output().unwrap();
+    let out = baps()
+        .args(["generate", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--profile"));
 }
@@ -113,14 +124,21 @@ fn simulate_rejects_bad_org() {
 
 #[test]
 fn info_missing_file_fails() {
-    let out = baps().args(["info", "/nonexistent/trace.baps"]).output().unwrap();
+    let out = baps()
+        .args(["info", "/nonexistent/trace.baps"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
 #[test]
 fn demo_runs_end_to_end() {
     let out = baps().args(["demo", "--clients", "3"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("peer browser cache"), "{text}");
 }

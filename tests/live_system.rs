@@ -23,7 +23,10 @@ fn replay_synthetic_trace_through_live_proxy() {
     }
     let mut store = DocumentStore::new();
     for (&doc, &size) in &sizes {
-        store.insert(format!("http://origin/doc/{doc}"), vec![doc as u8; size as usize]);
+        store.insert(
+            format!("http://origin/doc/{doc}"),
+            vec![doc as u8; size as usize],
+        );
     }
 
     let bed = TestBed::start(
@@ -55,8 +58,14 @@ fn replay_synthetic_trace_through_live_proxy() {
     // Every request was served; the mix contains real cache hits.
     let total: u64 = sources.values().sum();
     assert_eq!(total, trace.len() as u64);
-    assert!(*sources.get("local").unwrap_or(&0) > 0, "no local hits: {sources:?}");
-    assert!(*sources.get("proxy").unwrap_or(&0) > 0, "no proxy hits: {sources:?}");
+    assert!(
+        *sources.get("local").unwrap_or(&0) > 0,
+        "no local hits: {sources:?}"
+    );
+    assert!(
+        *sources.get("proxy").unwrap_or(&0) > 0,
+        "no proxy hits: {sources:?}"
+    );
 
     // The proxy's own counters agree with what clients observed.
     let stats = bed.proxy.stats();
@@ -102,5 +111,49 @@ fn live_peer_hit_with_integrity_end_to_end() {
     let r = bed.clients[1].fetch("http://origin/doc/0").unwrap();
     assert_eq!(r.source, Source::Peer);
     assert_eq!(r.body, body0);
+    bed.shutdown();
+}
+
+#[test]
+fn client_survives_proxy_side_connection_drop() {
+    let store = DocumentStore::synthetic(10, 200, 1_000, 9);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: 2,
+            proxy_capacity: 64 << 10,
+            browser_capacity: 32 << 10,
+            ..TestBedConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Warm the persistent connections with real traffic.
+    let r0 = bed.clients[0].fetch("http://origin/doc/0").unwrap();
+    assert_eq!(r0.source, Source::Origin);
+    assert_eq!(bed.clients[0].reconnects(), 0);
+
+    // The proxy abruptly severs every open connection (restart, idle
+    // reaping, fault injection) — but keeps serving.
+    bed.proxy.drop_connections();
+
+    // Clients keep working: the stale connection is detected on the next
+    // roundtrip, redialed transparently, and the request replayed.
+    let r1 = bed.clients[0].fetch("http://origin/doc/1").unwrap();
+    assert_eq!(r1.source, Source::Origin);
+    let r2 = bed.clients[1].fetch("http://origin/doc/1").unwrap();
+    assert_eq!(r2.source, Source::Proxy);
+    assert_eq!(r2.body, r1.body);
+    assert_eq!(bed.clients[0].reconnects(), 1);
+    assert_eq!(bed.clients[1].reconnects(), 1);
+
+    // A second drop mid-session is survived the same way.
+    bed.proxy.drop_connections();
+    let r3 = bed.clients[0].fetch("http://origin/doc/2").unwrap();
+    assert_eq!(r3.source, Source::Origin);
+    assert_eq!(bed.clients[0].reconnects(), 2);
+
+    // Counters kept counting across the drops.
+    assert_eq!(bed.proxy.stats().requests, 4);
     bed.shutdown();
 }
