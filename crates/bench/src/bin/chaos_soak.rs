@@ -1,0 +1,372 @@
+//! Chaos soak for the live proxy runtime: drive a full loopback
+//! [`TestBed`] under a seeded fault schedule and assert the reliability
+//! invariants the paper's design promises (§6).
+//!
+//! Faults injected (all drawn deterministically from `--seed`, see
+//! `baps_proxy::fault`): peers that refuse, vanish, stall mid-frame,
+//! truncate frames, or corrupt bodies; an origin that 500s, stalls, or
+//! hangs up; a proxy that stalls or severs client connections; and full
+//! proxy restarts (every open connection dropped at once).
+//!
+//! Invariants checked:
+//!
+//! 1. **Correct bytes or a clean error** — every successful fetch returns
+//!    the exact origin body (watermark-verified); corruption is never
+//!    silently served.
+//! 2. **Bounded time** — no fetch exceeds a hard per-request deadline and
+//!    the whole schedule finishes inside a wall-clock budget (no
+//!    deadlocks, no unbounded retry loops).
+//! 3. **Counter balance** — at the proxy,
+//!    `requests == proxy_hits + peer_hits + origin_fetches + errors`.
+//! 4. **Determinism** — run twice (unless `--once`), the two runs inject
+//!    identical per-kind fault counts and observe identical per-source
+//!    outcome tallies.
+//!
+//! On any violation the binary prints a reproduction command and exits
+//! nonzero.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p baps-bench --bin chaos_soak -- \
+//!     [--seed N] [--requests N] [--clients N] [--docs N] \
+//!     [--intensity F] [--direct] [--once]
+//! ```
+
+use baps_proxy::fault::FaultKind;
+use baps_proxy::{
+    DocumentStore, FaultConfig, FaultCounts, FaultPlan, ProxyError, Source, TestBed, TestBedConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on one fetch (client deadline 900 ms x retries + backoff
+/// leaves ample margin; anything slower indicates a hang).
+const FETCH_DEADLINE: Duration = Duration::from_secs(10);
+
+#[derive(Debug, Clone, Copy)]
+struct SoakArgs {
+    seed: u64,
+    requests: u64,
+    clients: u32,
+    docs: usize,
+    intensity: f64,
+    direct: bool,
+    once: bool,
+}
+
+impl Default for SoakArgs {
+    fn default() -> Self {
+        SoakArgs {
+            seed: 42,
+            requests: 2000,
+            clients: 6,
+            docs: 48,
+            intensity: 1.0,
+            direct: false,
+            once: false,
+        }
+    }
+}
+
+impl SoakArgs {
+    fn repro_line(&self) -> String {
+        format!(
+            "cargo run --release -p baps-bench --bin chaos_soak -- \
+             --seed {} --requests {} --clients {} --docs {} --intensity {}{}{}",
+            self.seed,
+            self.requests,
+            self.clients,
+            self.docs,
+            self.intensity,
+            if self.direct { " --direct" } else { "" },
+            if self.once { " --once" } else { "" },
+        )
+    }
+}
+
+/// Outcome tallies that must be identical across same-seed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Tally {
+    local: u64,
+    proxy: u64,
+    peer: u64,
+    origin: u64,
+    failed: u64,
+}
+
+impl Tally {
+    fn successes(&self) -> u64 {
+        self.local + self.proxy + self.peer + self.origin
+    }
+}
+
+struct SoakReport {
+    tally: Tally,
+    faults: FaultCounts,
+    proxy_requests: u64,
+    proxy_hits: u64,
+    peer_hits: u64,
+    origin_fetches: u64,
+    peer_fallbacks: u64,
+    proxy_errors: u64,
+    wall: Duration,
+    violations: Vec<String>,
+}
+
+fn run_soak(args: SoakArgs) -> SoakReport {
+    let store = DocumentStore::synthetic(args.docs, 256, 2048, args.seed);
+    // Ground truth: what every fetch must return, byte for byte.
+    let expected: HashMap<String, Vec<u8>> = (0..args.docs)
+        .map(|i| {
+            let url = format!("http://origin/doc/{i}");
+            let body = store.get(&url).expect("synthetic doc exists").to_vec();
+            (url, body)
+        })
+        .collect();
+
+    let plan = Arc::new(FaultPlan::new(
+        args.seed,
+        FaultConfig::chaos(args.intensity),
+    ));
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: args.clients,
+            // Small caches force churn: evictions, invalidations, and a
+            // live peer-fetch path instead of an all-hits steady state.
+            proxy_capacity: 16 << 10,
+            browser_capacity: 8 << 10,
+            direct_forward: args.direct,
+            // The timeout ladder keeps stalls (1300 ms) decisively above
+            // the client deadline, which in turn covers a full proxy
+            // fallback chain of peer probes + origin fetch (200 ms each).
+            client_timeout: Duration::from_millis(900),
+            client_retries: 3,
+            peer_timeout: Duration::from_millis(200),
+            peer_retries: 1,
+            origin_timeout: Duration::from_millis(200),
+            origin_retries: 1,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed_5eed);
+    let mut tally = Tally::default();
+    let mut violations = Vec::new();
+    let t0 = Instant::now();
+
+    for r in 0..args.requests {
+        // The restart schedule is part of the fault plan: one draw per
+        // request tick.
+        if plan.restart_due() {
+            bed.proxy.drop_connections();
+        }
+        let client = &bed.clients[rng.gen_range(0..args.clients as usize)];
+        let doc = rng.gen_range(0..args.docs);
+        let url = format!("http://origin/doc/{doc}");
+        let t = Instant::now();
+        let result = client.fetch(&url);
+        let dt = t.elapsed();
+        if dt > FETCH_DEADLINE {
+            violations.push(format!(
+                "request {r}: fetch of {url} took {dt:?} (> {FETCH_DEADLINE:?})"
+            ));
+        }
+        match result {
+            Ok(res) => {
+                if res.body != expected[&url] {
+                    violations.push(format!(
+                        "request {r}: WRONG BYTES for {url} from {:?} \
+                         ({} bytes, expected {})",
+                        res.source,
+                        res.body.len(),
+                        expected[&url].len()
+                    ));
+                }
+                match res.source {
+                    Source::LocalBrowser => tally.local += 1,
+                    Source::Proxy => tally.proxy += 1,
+                    Source::Peer => tally.peer += 1,
+                    Source::Origin => tally.origin += 1,
+                }
+            }
+            Err(e) => {
+                // Transient transport/backend failures that survived the
+                // bounded retries are honest degradation; anything else
+                // (silent 404s, integrity failures leaking through the
+                // bypass path, protocol corruption) is a bug.
+                match e {
+                    ProxyError::Io(_) | ProxyError::Timeout | ProxyError::Unavailable(_) => {
+                        tally.failed += 1;
+                    }
+                    other => violations.push(format!(
+                        "request {r}: unacceptable error for {url}: {other}"
+                    )),
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed();
+
+    let stats = bed.proxy.stats();
+    if stats.requests != stats.proxy_hits + stats.peer_hits + stats.origin_fetches + stats.errors {
+        violations.push(format!(
+            "proxy counter imbalance: requests {} != proxy_hits {} + peer_hits {} \
+             + origin_fetches {} + errors {}",
+            stats.requests, stats.proxy_hits, stats.peer_hits, stats.origin_fetches, stats.errors
+        ));
+    }
+    if tally.successes() + tally.failed != args.requests {
+        violations.push(format!(
+            "driver tally imbalance: {} successes + {} failures != {} requests",
+            tally.successes(),
+            tally.failed,
+            args.requests
+        ));
+    }
+    // Generous wall budget: average 50 ms per request plus a fixed floor.
+    // A deadlock or unbounded retry loop blows well past this.
+    let budget = Duration::from_millis(60_000 + 50 * args.requests);
+    if wall > budget {
+        violations.push(format!("wall clock {wall:?} exceeded budget {budget:?}"));
+    }
+
+    let faults = plan.counts();
+    bed.shutdown();
+    SoakReport {
+        tally,
+        faults,
+        proxy_requests: stats.requests,
+        proxy_hits: stats.proxy_hits,
+        peer_hits: stats.peer_hits,
+        origin_fetches: stats.origin_fetches,
+        peer_fallbacks: stats.peer_fallbacks,
+        proxy_errors: stats.errors,
+        wall,
+        violations,
+    }
+}
+
+fn print_report(label: &str, args: SoakArgs, r: &SoakReport) {
+    println!("--- {label} ---");
+    println!(
+        "schedule : {} requests, {} clients, {} docs, seed {}, intensity {}{}",
+        args.requests,
+        args.clients,
+        args.docs,
+        args.seed,
+        args.intensity,
+        if args.direct { ", direct-forward" } else { "" },
+    );
+    println!(
+        "outcomes : local {} | proxy {} | peer {} | origin {} | degraded-errors {}",
+        r.tally.local, r.tally.proxy, r.tally.peer, r.tally.origin, r.tally.failed
+    );
+    println!(
+        "proxy    : requests {} = proxy_hits {} + peer_hits {} + origin_fetches {} + errors {} \
+         (peer_fallbacks {})",
+        r.proxy_requests,
+        r.proxy_hits,
+        r.peer_hits,
+        r.origin_fetches,
+        r.proxy_errors,
+        r.peer_fallbacks
+    );
+    println!("faults   : {} (total {})", r.faults, r.faults.total());
+    println!("wall     : {:.2} s", r.wall.as_secs_f64());
+}
+
+fn parse_args() -> SoakArgs {
+    let mut out = SoakArgs::default();
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: chaos_soak [--seed N] [--requests N] [--clients N] [--docs N] \
+                 [--intensity F] [--direct] [--once]";
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => out.seed = value("--seed").parse().expect("--seed: u64"),
+            "--requests" => out.requests = value("--requests").parse().expect("--requests: u64"),
+            "--clients" => out.clients = value("--clients").parse().expect("--clients: u32"),
+            "--docs" => out.docs = value("--docs").parse().expect("--docs: usize"),
+            "--intensity" => {
+                out.intensity = value("--intensity").parse().expect("--intensity: f64")
+            }
+            "--direct" => out.direct = true,
+            "--once" => out.once = true,
+            other => {
+                eprintln!("unknown flag {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.clients == 0 || out.docs == 0 || out.requests == 0 {
+        eprintln!("--clients, --docs and --requests must be positive\n{usage}");
+        std::process::exit(2);
+    }
+    out
+}
+
+fn fail(args: SoakArgs, violations: &[String]) -> ! {
+    for v in violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    eprintln!("reproduce with: {}", args.repro_line());
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "chaos_soak: {} requests under seeded fault injection (seed {})\n",
+        args.requests, args.seed
+    );
+
+    let first = run_soak(args);
+    print_report("run 1", args, &first);
+    if !first.violations.is_empty() {
+        fail(args, &first.violations);
+    }
+
+    if !args.once {
+        let second = run_soak(args);
+        println!();
+        print_report("run 2", args, &second);
+        if !second.violations.is_empty() {
+            fail(args, &second.violations);
+        }
+        let mut determinism = Vec::new();
+        for kind in FaultKind::ALL {
+            if first.faults.get(kind) != second.faults.get(kind) {
+                determinism.push(format!(
+                    "fault count mismatch for {}: run1 {} != run2 {}",
+                    kind.name(),
+                    first.faults.get(kind),
+                    second.faults.get(kind)
+                ));
+            }
+        }
+        if first.tally != second.tally {
+            determinism.push(format!(
+                "outcome tally mismatch: run1 {:?} != run2 {:?}",
+                first.tally, second.tally
+            ));
+        }
+        if !determinism.is_empty() {
+            fail(args, &determinism);
+        }
+        println!("\ndeterminism: per-fault counts and outcome tallies identical across runs");
+    }
+
+    println!("\nall invariants held");
+}

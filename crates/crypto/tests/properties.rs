@@ -2,7 +2,7 @@
 
 use baps_crypto::{
     decrypt_message, encrypt_message, md5, sign_digest, verify_digest, KeyPair, Md5, ProxySigner,
-    XteaKey,
+    Watermark, XteaKey,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -90,5 +90,42 @@ proptest! {
         let i = idx % bad.len();
         bad[i] = bad[i].wrapping_add(1);
         prop_assert!(baps_crypto::verify_document(&signer.public_key(), &bad, &wm).is_err());
+    }
+
+    /// The full §6.1 tamper matrix: a flipped byte, a truncated body, and
+    /// a forged (bit-flipped) watermark must each fail verification — a
+    /// peer can never make wrong bytes verify.
+    #[test]
+    fn watermark_tamper_matrix(
+        seed in any::<u64>(),
+        doc in proptest::collection::vec(any::<u8>(), 2..512),
+        idx in any::<usize>(),
+        sig_byte in any::<usize>(),
+        sig_bit in 0u32..8,
+    ) {
+        let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(seed));
+        let key = signer.public_key();
+        let wm = signer.watermark(&doc);
+        prop_assert!(baps_crypto::verify_document(&key, &doc, &wm).is_ok());
+
+        // Flipped byte anywhere in the body.
+        let mut flipped = doc.clone();
+        let i = idx % flipped.len();
+        flipped[i] ^= 0xff;
+        prop_assert!(baps_crypto::verify_document(&key, &flipped, &wm).is_err());
+
+        // Truncated body (a well-formed frame can still carry one).
+        prop_assert!(baps_crypto::verify_document(&key, &doc[..doc.len() / 2], &wm).is_err());
+
+        // Forged watermark: any single bit flipped in the signature. It
+        // still parses as a watermark but must not verify the real bytes.
+        let mut forged_bytes = wm.to_bytes();
+        forged_bytes[sig_byte % 32] ^= 1u8 << sig_bit;
+        let forged = Watermark::from_bytes(&forged_bytes).unwrap();
+        prop_assert!(baps_crypto::verify_document(&key, &doc, &forged).is_err());
+
+        // The forgery survives the hex wire encoding and is still caught.
+        let rewired = Watermark::from_hex(&forged.to_hex()).unwrap();
+        prop_assert!(baps_crypto::verify_document(&key, &doc, &rewired).is_err());
     }
 }

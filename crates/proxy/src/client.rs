@@ -2,7 +2,8 @@
 //! logic with end-to-end integrity verification.
 
 use crate::error::ProxyError;
-use crate::pool::WorkerPool;
+use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
+use crate::pool::{dial_with_deadline, WorkerPool};
 use crate::protocol::{read_message, response, response_code, status, write_message, Message};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
@@ -25,6 +26,57 @@ const DELIVERY_TIMEOUT: Duration = Duration::from_secs(2);
 const PEER_WORKERS: usize = 4;
 /// Accept backlog for the peer port.
 const PEER_BACKLOG: usize = 16;
+/// Read deadline on accepted peer-port connections: dialers (the proxy,
+/// delivering peers) send their request immediately, so a connection idle
+/// this long is a stalled or dead dialer and must not pin a peer worker.
+const PEER_SERVE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// What a tampering client serves its peers (test/fault hook; the honest
+/// value is [`TamperMode::Honest`]). Every dishonest mode must be caught
+/// by the requester's §6.1 watermark verification — never silently
+/// accepted as wrong bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Serve the cached document faithfully.
+    Honest,
+    /// Flip the first body byte (classic bit-rot / malicious edit).
+    FlipByte,
+    /// Serve only the first half of the body, with a matching
+    /// `Content-Length` (well-formed frame, wrong content).
+    Truncate,
+    /// Serve the intact body under a forged (bit-flipped) watermark.
+    ForgeWatermark,
+}
+
+/// Tuning knobs for one [`ClientAgent`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Browser cache capacity in bytes.
+    pub browser_capacity: u64,
+    /// Connect/read/write deadline on the proxy connection. A stalled
+    /// proxy makes the in-flight call fail with [`ProxyError::Timeout`]
+    /// instead of hanging the agent forever. `Duration::ZERO` disables it.
+    pub proxy_deadline: Duration,
+    /// Extra fetch attempts after the first for retryable failures
+    /// (timeouts, transport errors, 5xx), with exponential backoff.
+    pub retries: u32,
+    /// Initial backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Fault plan consulted by the peer-serving loop (chaos testing).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            browser_capacity: 32 << 10,
+            proxy_deadline: Duration::from_secs(5),
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            faults: None,
+        }
+    }
+}
 
 /// Where a fetched document came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,9 +105,11 @@ struct ClientState {
     /// Direct deliveries awaiting pickup, keyed by transaction id.
     deliveries: Mutex<HashMap<u64, CachedDoc>>,
     delivered: Condvar,
-    /// Test hook: serve corrupted bodies to peers (a malicious client).
-    tamper: AtomicBool,
+    /// Test hook: what this client serves its peers (a malicious client).
+    tamper: Mutex<TamperMode>,
     peer_serves: AtomicU64,
+    /// Fault plan consulted once per served PEERGET/PUSH.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// A kept-alive connection to the proxy (paired buffered reader + writer
@@ -66,9 +120,8 @@ struct ProxyConn {
 }
 
 impl ProxyConn {
-    fn dial(addr: SocketAddr) -> io::Result<ProxyConn> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    fn dial(addr: SocketAddr, deadline: Duration) -> io::Result<ProxyConn> {
+        let stream = dial_with_deadline(addr, deadline)?;
         Ok(ProxyConn {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -88,6 +141,7 @@ pub struct ClientAgent {
     id: u32,
     proxy_addr: SocketAddr,
     proxy_key: PublicKey,
+    config: ClientConfig,
     state: Arc<ClientState>,
     peer_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -105,22 +159,42 @@ pub struct ClientAgent {
 }
 
 impl ClientAgent {
-    /// Starts the agent: binds a peer-serving port, registers with the
-    /// proxy, and is then ready to [`ClientAgent::fetch`].
+    /// Starts the agent with default tuning ([`ClientConfig::default`],
+    /// with the given browser cache capacity).
     pub fn start(
         id: u32,
         proxy_addr: SocketAddr,
         proxy_key: PublicKey,
         browser_capacity: u64,
     ) -> Result<ClientAgent, ProxyError> {
+        ClientAgent::start_with(
+            id,
+            proxy_addr,
+            proxy_key,
+            ClientConfig {
+                browser_capacity,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Starts the agent: binds a peer-serving port, registers with the
+    /// proxy, and is then ready to [`ClientAgent::fetch`].
+    pub fn start_with(
+        id: u32,
+        proxy_addr: SocketAddr,
+        proxy_key: PublicKey,
+        config: ClientConfig,
+    ) -> Result<ClientAgent, ProxyError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let peer_addr = listener.local_addr()?;
         let state = Arc::new(ClientState {
-            cache: Mutex::new(BodyCache::new(browser_capacity)),
+            cache: Mutex::new(BodyCache::new(config.browser_capacity)),
             deliveries: Mutex::new(HashMap::new()),
             delivered: Condvar::new(),
-            tamper: AtomicBool::new(false),
+            tamper: Mutex::new(TamperMode::Honest),
             peer_serves: AtomicU64::new(0),
+            faults: config.faults.clone(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = {
@@ -153,6 +227,7 @@ impl ClientAgent {
             id,
             proxy_addr,
             proxy_key,
+            config,
             state,
             peer_addr,
             shutdown,
@@ -185,9 +260,28 @@ impl ClientAgent {
         self.state.cache.lock().used()
     }
 
-    /// Test hook: make this client serve corrupted bodies to its peers.
+    /// Test hook: make this client serve corrupted bodies to its peers
+    /// (shorthand for [`TamperMode::FlipByte`] / [`TamperMode::Honest`]).
     pub fn set_tamper(&self, tamper: bool) {
-        self.state.tamper.store(tamper, Ordering::Release);
+        self.set_tamper_mode(if tamper {
+            TamperMode::FlipByte
+        } else {
+            TamperMode::Honest
+        });
+    }
+
+    /// Test hook: choose exactly how this client tampers with the
+    /// documents it serves to peers.
+    pub fn set_tamper_mode(&self, mode: TamperMode) {
+        *self.state.tamper.lock() = mode;
+    }
+
+    /// Test hook: silently drops `url` from the browser cache *without*
+    /// notifying the proxy, so the proxy's browser index still lists this
+    /// client as holding it. Models the index racing a local eviction
+    /// (crash, out-of-band cache clear). Returns whether it was present.
+    pub fn purge_local(&self, url: &str) -> bool {
+        self.state.cache.lock().remove(url)
     }
 
     /// Toggles connection reuse. With keep-alive off every request dials a
@@ -232,6 +326,11 @@ impl ClientAgent {
     /// Peer-served documents are integrity-verified against the proxy's
     /// watermark; on a failed check the request is retried once with
     /// `Bypass-Peers` so a tampering peer cannot poison the client.
+    ///
+    /// Transient failures ([`ProxyError::is_retryable`]: socket deadlines,
+    /// transport errors, proxy 5xx) are retried up to
+    /// [`ClientConfig::retries`] extra times with exponential backoff
+    /// before the error is surfaced.
     pub fn fetch(&self, url: &str) -> Result<FetchResult, ProxyError> {
         if let Some(doc) = self.state.cache.lock().get(url) {
             return Ok(FetchResult {
@@ -239,13 +338,28 @@ impl ClientAgent {
                 source: Source::LocalBrowser,
             });
         }
-        match self.fetch_via_proxy(url, false) {
-            Err(ProxyError::Integrity(_)) | Err(ProxyError::DeliveryTimeout) => {
-                // A peer served tampered bytes or never delivered: bypass
-                // peers and retry.
-                self.fetch_via_proxy(url, true)
+        let mut attempts_left = self.config.retries;
+        let mut backoff = self.config.retry_backoff;
+        loop {
+            let result = match self.fetch_via_proxy(url, false) {
+                Err(ProxyError::Integrity(_)) | Err(ProxyError::DeliveryTimeout) => {
+                    // A peer served tampered bytes or never delivered:
+                    // bypass peers and retry (doesn't consume an attempt —
+                    // it is a different request, not a repeat).
+                    self.fetch_via_proxy(url, true)
+                }
+                other => other,
+            };
+            match result {
+                Err(e) if e.is_retryable() && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff *= 2;
+                }
+                other => return other,
             }
-            other => other,
         }
     }
 
@@ -277,6 +391,9 @@ impl ClientAgent {
         match response_code(&reply) {
             Some(status::OK) => {}
             Some(status::NOT_FOUND) => return Err(ProxyError::NotFound(url.to_owned())),
+            Some(code @ (status::SERVER_ERROR | status::UNAVAILABLE)) => {
+                return Err(ProxyError::Unavailable(code))
+            }
             other => {
                 return Err(ProxyError::Protocol(format!(
                     "unexpected proxy response {other:?}: {}",
@@ -369,16 +486,25 @@ impl ClientAgent {
     ///
     /// [`drop_connections`]: crate::proxy::ProxyServer::drop_connections
     fn roundtrip(&self, msg: Message) -> Result<Message, ProxyError> {
+        // EOF before a reply is a transport failure (restart, drop), not a
+        // protocol violation — callers may retry it.
+        fn hung_up() -> ProxyError {
+            ProxyError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "proxy closed connection",
+            ))
+        }
         if !self.keep_alive.load(Ordering::Acquire) {
-            let mut conn = ProxyConn::dial(self.proxy_addr)?;
-            return conn
-                .exchange(&msg)?
-                .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()));
+            let mut conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline)?;
+            return conn.exchange(&msg)?.ok_or_else(hung_up);
         }
         let mut guard = self.proxy_conn.lock();
         let reused = guard.is_some();
         if guard.is_none() {
-            *guard = Some(ProxyConn::dial(self.proxy_addr)?);
+            *guard = Some(ProxyConn::dial(
+                self.proxy_addr,
+                self.config.proxy_deadline,
+            )?);
         }
         let conn = guard.as_mut().expect("connection dialed above");
         match conn.exchange(&msg) {
@@ -388,16 +514,14 @@ impl ClientAgent {
             Ok(None) | Err(_) if reused => {
                 *guard = None;
                 self.reconnects.fetch_add(1, Ordering::Relaxed);
-                let mut conn = ProxyConn::dial(self.proxy_addr)?;
-                let reply = conn
-                    .exchange(&msg)?
-                    .ok_or_else(|| ProxyError::Protocol("proxy closed connection".into()))?;
+                let mut conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline)?;
+                let reply = conn.exchange(&msg)?.ok_or_else(hung_up)?;
                 *guard = Some(conn);
                 Ok(reply)
             }
             Ok(None) => {
                 *guard = None;
-                Err(ProxyError::Protocol("proxy closed connection".into()))
+                Err(hung_up())
             }
             Err(e) => {
                 *guard = None;
@@ -434,28 +558,77 @@ impl Drop for ClientAgent {
     }
 }
 
+/// Applies a tamper mode to a document about to be served to a peer:
+/// returns the (possibly corrupted) body and watermark hex to send.
+fn tampered(mode: TamperMode, body: &[u8], watermark_hex: String) -> (Vec<u8>, String) {
+    let mut body = body.to_vec();
+    let mut hex = watermark_hex;
+    match mode {
+        TamperMode::Honest => {}
+        TamperMode::FlipByte => {
+            if let Some(b) = body.first_mut() {
+                *b ^= 0xff;
+            }
+        }
+        TamperMode::Truncate => {
+            let half = body.len() / 2;
+            body.truncate(half);
+        }
+        TamperMode::ForgeWatermark => {
+            // Swap the first hex digit for a different one: still parses
+            // as a watermark, but verifies against nothing.
+            let forged = if hex.starts_with('0') { "1" } else { "0" };
+            hex.replace_range(0..1, forged);
+        }
+    }
+    (body, hex)
+}
+
 /// Serves PEERGET requests from this client's browser cache. The request
 /// carries only a transaction id — the peer never learns who is asking.
+///
+/// When a fault plan is installed, exactly one fault draw happens per
+/// served PEERGET/PUSH (never for DELIVER or malformed requests):
+/// `PeerDrop` closes the connection without replying, `PeerRefuse`
+/// answers 410 as if the document were gone, and the wire faults
+/// (stall/truncate/corrupt) distort the otherwise-correct reply via
+/// [`write_reply_with_fault`].
 fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
+    // Dialers send their request immediately; an idle connection is a
+    // stalled or dead dialer that must not pin this worker forever.
+    stream.set_read_timeout(Some(PEER_SERVE_DEADLINE))?;
+    stream.set_write_timeout(Some(PEER_SERVE_DEADLINE))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
         let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
+        // Fault decisions apply only to requests we serve *to* peers.
+        let faultable = matches!(tokens.first().map(String::as_str), Some("PEERGET" | "PUSH"));
+        let fault = match (faultable, state.faults.as_deref()) {
+            (true, Some(plan)) => plan.peer_fault(),
+            _ => None,
+        };
+        if fault == Some(FaultKind::PeerDrop) {
+            // Vanish mid-conversation: the dialer sees an abrupt EOF.
+            return Ok(());
+        }
         let reply = match tokens
             .iter()
             .map(String::as_str)
             .collect::<Vec<_>>()
             .as_slice()
         {
+            _ if fault == Some(FaultKind::PeerRefuse) => {
+                // Claim the document is gone even though we may hold it.
+                response(status::GONE, "Gone")
+            }
             ["PEERGET", url, "BAPS/1.0"] => match state.cache.lock().get(url) {
                 Some(doc) => {
                     state.peer_serves.fetch_add(1, Ordering::Relaxed);
-                    let mut body = doc.body.clone();
-                    if state.tamper.load(Ordering::Acquire) && !body.is_empty() {
-                        body[0] ^= 0xff;
-                    }
+                    let (body, hex) =
+                        tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
                     response(status::OK, "OK")
-                        .header("X-Watermark", doc.watermark.to_hex())
+                        .header("X-Watermark", hex)
                         .with_body(body)
                 }
                 None => response(status::GONE, "Gone"),
@@ -468,11 +641,9 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                 match (txn, target, state.cache.lock().get(url).cloned()) {
                     (Some(txn), Some(target), Some(doc)) => {
                         state.peer_serves.fetch_add(1, Ordering::Relaxed);
-                        let mut body = doc.body.clone();
-                        if state.tamper.load(Ordering::Acquire) && !body.is_empty() {
-                            body[0] ^= 0xff;
-                        }
-                        match deliver_to(&target, url, &txn, &doc.watermark, body) {
+                        let (body, hex) =
+                            tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
+                        match deliver_to(&target, url, &txn, &hex, body) {
                             Ok(()) => response(status::OK, "OK"),
                             Err(_) => response(status::GONE, "Delivery Failed"),
                         }
@@ -504,7 +675,14 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             }
             _ => response(status::BAD_REQUEST, "Bad Request"),
         };
-        write_message(&mut writer, &reply)?;
+        let stall = state
+            .faults
+            .as_deref()
+            .map(FaultPlan::stall)
+            .unwrap_or_default();
+        if !write_reply_with_fault(&mut writer, &reply, fault, stall)? {
+            return Ok(());
+        }
     }
     Ok(())
 }
@@ -514,7 +692,7 @@ fn deliver_to(
     target: &str,
     url: &str,
     txn: &str,
-    watermark: &baps_crypto::Watermark,
+    watermark_hex: &str,
     body: Vec<u8>,
 ) -> io::Result<()> {
     let addr: SocketAddr = target
@@ -528,7 +706,7 @@ fn deliver_to(
         &mut writer,
         &Message::new(format!("DELIVER {url} BAPS/1.0"))
             .header("Txn", txn)
-            .header("X-Watermark", watermark.to_hex())
+            .header("X-Watermark", watermark_hex)
             .with_body(body),
     )
 }

@@ -17,6 +17,11 @@ pub enum ProxyError {
     Integrity(CryptoError),
     /// A direct peer delivery never arrived within the timeout.
     DeliveryTimeout,
+    /// A socket read/write deadline expired (stalled peer). Retryable.
+    Timeout,
+    /// The proxy answered 5xx (origin unreachable after its own retries).
+    /// Retryable; carries the status code.
+    Unavailable(u16),
 }
 
 impl fmt::Display for ProxyError {
@@ -27,6 +32,8 @@ impl fmt::Display for ProxyError {
             ProxyError::NotFound(url) => write!(f, "document not found: {url}"),
             ProxyError::Integrity(e) => write!(f, "integrity failure: {e}"),
             ProxyError::DeliveryTimeout => write!(f, "direct peer delivery timed out"),
+            ProxyError::Timeout => write!(f, "socket deadline expired"),
+            ProxyError::Unavailable(code) => write!(f, "service unavailable ({code})"),
         }
     }
 }
@@ -41,9 +48,27 @@ impl std::error::Error for ProxyError {
     }
 }
 
+impl ProxyError {
+    /// Whether retrying the same request later could plausibly succeed
+    /// (transient transport or backend failures, not protocol/content
+    /// errors). [`crate::client::ClientAgent::fetch`] backs off and
+    /// retries exactly these.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ProxyError::Io(_) | ProxyError::Timeout | ProxyError::Unavailable(_)
+        )
+    }
+}
+
 impl From<io::Error> for ProxyError {
     fn from(e: io::Error) -> Self {
-        ProxyError::Io(e)
+        // `set_read_timeout` expiry surfaces as WouldBlock on Unix and
+        // TimedOut on Windows; both mean "deadline expired".
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ProxyError::Timeout,
+            _ => ProxyError::Io(e),
+        }
     }
 }
 
@@ -65,5 +90,25 @@ mod tests {
             .contains("bad"));
         let io_err: ProxyError = io::Error::other("boom").into();
         assert!(io_err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_deadline_kinds_map_to_timeout() {
+        let e: ProxyError = io::Error::new(io::ErrorKind::WouldBlock, "deadline").into();
+        assert!(matches!(e, ProxyError::Timeout));
+        let e: ProxyError = io::Error::new(io::ErrorKind::TimedOut, "deadline").into();
+        assert!(matches!(e, ProxyError::Timeout));
+        let e: ProxyError = io::Error::other("hard").into();
+        assert!(matches!(e, ProxyError::Io(_)));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(ProxyError::Timeout.is_retryable());
+        assert!(ProxyError::Unavailable(503).is_retryable());
+        assert!(ProxyError::Io(io::Error::other("x")).is_retryable());
+        assert!(!ProxyError::NotFound("u".into()).is_retryable());
+        assert!(!ProxyError::Protocol("p".into()).is_retryable());
+        assert!(!ProxyError::DeliveryTimeout.is_retryable());
     }
 }

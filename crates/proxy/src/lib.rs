@@ -14,6 +14,7 @@
 
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod origin;
 pub mod pool;
 pub mod protocol;
@@ -21,11 +22,12 @@ pub mod proxy;
 pub mod runtime;
 pub mod store;
 
-pub use client::{ClientAgent, FetchResult, Source};
+pub use client::{ClientAgent, ClientConfig, FetchResult, Source, TamperMode};
 pub use error::ProxyError;
+pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;
-pub use pool::{ConnRegistry, WorkerPool};
-pub use protocol::{read_message, response_code, write_message, Message};
+pub use pool::{dial_with_deadline, ConnRegistry, WorkerPool};
+pub use protocol::{encode_message, read_message, response_code, write_message, Message};
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
 pub use runtime::{TestBed, TestBedConfig};
 pub use store::{BodyCache, CachedDoc, DocumentStore};

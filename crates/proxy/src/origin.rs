@@ -1,6 +1,7 @@
 //! The origin Web server: serves the document corpus over the wire
 //! protocol (`GET <url> ORIGIN/1.0`).
 
+use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, status, write_message, Message};
 use crate::store::DocumentStore;
@@ -36,6 +37,19 @@ impl OriginServer {
         workers: usize,
         backlog: usize,
     ) -> io::Result<OriginServer> {
+        OriginServer::start_with_faults(store, workers, backlog, None)
+    }
+
+    /// Starts the server with a fault plan: each served `GET` draws one
+    /// origin-site fault decision (500s, mid-reply stalls, dropped
+    /// connections) so a proxy's origin-retry path can be exercised
+    /// deterministically.
+    pub fn start_with_faults(
+        store: DocumentStore,
+        workers: usize,
+        backlog: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<OriginServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -45,7 +59,7 @@ impl OriginServer {
             let hits = Arc::clone(&hits);
             let store = Arc::clone(&store);
             WorkerPool::start("baps-origin-worker", workers, backlog, move |stream| {
-                let _ = serve_connection(stream, &store, &hits);
+                let _ = serve_connection(stream, &store, &hits, faults.as_deref());
             })?
         };
         let handle = {
@@ -116,12 +130,35 @@ fn serve_connection(
     stream: TcpStream,
     store: &RwLock<DocumentStore>,
     hits: &AtomicU64,
+    faults: Option<&FaultPlan>,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
-        let reply = handle_request(&msg, store, hits);
-        write_message(&mut writer, &reply)?;
+        // One fault decision per served GET; other verbs stay honest so
+        // the draw sequence tracks document requests exactly.
+        let fault = match (msg.tokens().first(), faults) {
+            (Some(&"GET"), Some(plan)) => plan.origin_fault(),
+            _ => None,
+        };
+        match fault {
+            Some(FaultKind::OriginDrop) => return Ok(()),
+            Some(FaultKind::OriginError) => {
+                // Pretend the backend failed; the document is NOT counted
+                // as served.
+                write_message(
+                    &mut writer,
+                    &response(status::SERVER_ERROR, "Internal Server Error"),
+                )?;
+            }
+            other => {
+                let reply = handle_request(&msg, store, hits);
+                let stall = faults.map(FaultPlan::stall).unwrap_or_default();
+                if !write_reply_with_fault(&mut writer, &reply, other, stall)? {
+                    return Ok(());
+                }
+            }
+        }
     }
     Ok(())
 }

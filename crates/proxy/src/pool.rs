@@ -19,16 +19,35 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Default worker threads per server.
 pub const DEFAULT_WORKERS: usize = 8;
 /// Default bounded backlog of accepted-but-unclaimed connections.
 pub const DEFAULT_BACKLOG: usize = 64;
+
+/// Dials `addr` with `deadline` as the connect timeout and installs it as
+/// the read/write timeout on the resulting stream, so no later blocking
+/// operation on this socket can outlive it. `Duration::ZERO` disables the
+/// deadline entirely (plain blocking connect, no socket timeouts).
+pub fn dial_with_deadline(addr: SocketAddr, deadline: Duration) -> io::Result<TcpStream> {
+    let stream = if deadline.is_zero() {
+        TcpStream::connect(addr)?
+    } else {
+        TcpStream::connect_timeout(&addr, deadline)?
+    };
+    stream.set_nodelay(true)?;
+    if !deadline.is_zero() {
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
+    }
+    Ok(stream)
+}
 
 /// Tracks open connections so shutdown can unblock their handlers.
 #[derive(Default)]

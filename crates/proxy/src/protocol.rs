@@ -109,6 +109,19 @@ impl Message {
 /// honours the first header it sees, desynchronising every later message
 /// on the connection.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    // One write per frame. Writing head and body separately triggers the
+    // Nagle/delayed-ACK interaction on keep-alive connections: the kernel
+    // holds the second small write until the peer ACKs the first, and the
+    // peer delays that ACK up to ~40 ms waiting to piggyback it.
+    let frame = encode_message(msg)?;
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Serialises a message into one contiguous frame (what [`write_message`]
+/// puts on the wire), applying the same `Content-Length` validation. The
+/// fault injector uses this to truncate or stall frames mid-byte-stream.
+pub fn encode_message(msg: &Message) -> io::Result<Vec<u8>> {
     if let Some(declared) = msg.get("Content-Length") {
         let declared: usize = declared.parse().map_err(|e| {
             io::Error::new(
@@ -141,15 +154,10 @@ pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
         head.push_str(&format!("Content-Length: {}\r\n", msg.body.len()));
     }
     head.push_str("\r\n");
-    // One write per frame. Writing head and body separately triggers the
-    // Nagle/delayed-ACK interaction on keep-alive connections: the kernel
-    // holds the second small write until the peer ACKs the first, and the
-    // peer delays that ACK up to ~40 ms waiting to piggyback it.
     let mut frame = Vec::with_capacity(head.len() + msg.body.len());
     frame.extend_from_slice(head.as_bytes());
     frame.extend_from_slice(&msg.body);
-    w.write_all(&frame)?;
-    w.flush()
+    Ok(frame)
 }
 
 /// Reads one message; returns `None` on a cleanly closed connection.
@@ -218,6 +226,11 @@ pub mod status {
     pub const GONE: u16 = 410;
     /// Malformed request.
     pub const BAD_REQUEST: u16 = 400;
+    /// The server failed internally (fault-injected origin errors).
+    pub const SERVER_ERROR: u16 = 500;
+    /// The document exists but no backend could serve it right now
+    /// (origin unreachable after retries); clients may retry.
+    pub const UNAVAILABLE: u16 = 503;
 }
 
 /// Builds a response message with the given status code.

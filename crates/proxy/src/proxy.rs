@@ -7,7 +7,8 @@
 //! stamped with a digital watermark signed by the proxy (§6.1); watermarks
 //! travel with cached copies and are verified end to end.
 
-use crate::pool::{ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
+use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
+use crate::pool::{dial_with_deadline, ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, response_code, status, write_message, Message};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
@@ -26,9 +27,13 @@ use std::time::Duration;
 
 /// Maximum peer candidates probed per request.
 const MAX_PEER_PROBES: usize = 4;
-/// Dial/read timeout for peer probes, so one dead client cannot stall the
-/// proxy.
+/// Default dial/read timeout for peer probes, so one dead client cannot
+/// stall the proxy.
 const PEER_TIMEOUT: Duration = Duration::from_secs(2);
+/// Default dial/read timeout for origin fetches.
+const ORIGIN_TIMEOUT: Duration = Duration::from_secs(5);
+/// Initial backoff between retried peer probes / origin fetches.
+const RETRY_BACKOFF: Duration = Duration::from_millis(5);
 
 /// Proxy configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +62,37 @@ pub struct ProxyConfig {
     /// Bounded queue of accepted-but-unclaimed connections; when full,
     /// new connections are dropped (clients see EOF and may retry).
     pub accept_backlog: usize,
+    /// Dial/read/write deadline for peer probes (`Duration::ZERO` falls
+    /// back to the built-in default).
+    pub peer_timeout: Duration,
+    /// Extra attempts per peer probe after a *transport* failure. A peer
+    /// that answers `410 Gone` is authoritative and never re-probed.
+    pub peer_retries: u32,
+    /// Dial/read/write deadline for origin fetches (`Duration::ZERO`
+    /// falls back to the built-in default).
+    pub origin_timeout: Duration,
+    /// Extra origin fetch attempts after a transport failure or 5xx.
+    pub origin_retries: u32,
+    /// Fault plan consulted once per client-facing `GET` (chaos testing).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl ProxyConfig {
+    fn peer_deadline(&self) -> Duration {
+        if self.peer_timeout.is_zero() {
+            PEER_TIMEOUT
+        } else {
+            self.peer_timeout
+        }
+    }
+
+    fn origin_deadline(&self) -> Duration {
+        if self.origin_timeout.is_zero() {
+            ORIGIN_TIMEOUT
+        } else {
+            self.origin_timeout
+        }
+    }
 }
 
 /// Aggregate counters, readable while the proxy runs.
@@ -76,6 +112,13 @@ pub struct ProxyCounters {
     pub peer_failures: AtomicU64,
     /// Peer hits served by direct client-to-client pushes.
     pub direct_pushes: AtomicU64,
+    /// Requests where the browser index offered candidates but every
+    /// probe failed, so the request degraded to the origin path.
+    pub peer_fallbacks: AtomicU64,
+    /// GET requests answered with an error (404 or 5xx) instead of a
+    /// document. `requests == proxy_hits + peer_hits + origin_fetches +
+    /// errors` always holds.
+    pub errors: AtomicU64,
 }
 
 /// Snapshot of [`ProxyCounters`].
@@ -95,6 +138,10 @@ pub struct ProxyStats {
     pub peer_failures: u64,
     /// Peer hits served by direct client-to-client pushes.
     pub direct_pushes: u64,
+    /// Requests that degraded from the peer path to the origin path.
+    pub peer_fallbacks: u64,
+    /// GET requests answered with an error instead of a document.
+    pub errors: u64,
 }
 
 struct ProxyState {
@@ -203,7 +250,22 @@ impl ProxyServer {
             invalidations: c.invalidations.load(Ordering::Relaxed),
             peer_failures: c.peer_failures.load(Ordering::Relaxed),
             direct_pushes: c.direct_pushes.load(Ordering::Relaxed),
+            peer_fallbacks: c.peer_fallbacks.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Test/diagnostic hook: whether the browser index currently lists
+    /// `client` as a holder of `url`.
+    pub fn index_holds(&self, client: u32, url: &str) -> bool {
+        let doc = doc_id(&self.state, url);
+        // `lookup_all` excludes the requester, so ask as nobody.
+        self.state
+            .index
+            .lock()
+            .lookup_all(doc, ClientId(u32::MAX))
+            .iter()
+            .any(|holder| holder.0 == client)
     }
 
     /// Current browser-index entry count.
@@ -258,9 +320,29 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
+        // One proxy-site fault decision per client-facing GET. The
+        // administrative verbs (REGISTER, INVALIDATE, STATS) stay honest
+        // so chaos runs can still register clients and read counters.
+        let fault = match (msg.tokens().first(), state.config.faults.as_deref()) {
+            (Some(&"GET"), Some(plan)) => plan.proxy_fault(),
+            _ => None,
+        };
+        if fault == Some(FaultKind::ProxyDrop) {
+            // Sever before handling: the client sees EOF, redials, and
+            // replays; the request is never counted.
+            return Ok(());
+        }
         let reply = dispatch(&msg, peer_ip, state);
         if let Some(reply) = reply {
-            write_message(&mut writer, &reply)?;
+            let stall = state
+                .config
+                .faults
+                .as_deref()
+                .map(FaultPlan::stall)
+                .unwrap_or_default();
+            if !write_reply_with_fault(&mut writer, &reply, fault, stall)? {
+                return Ok(());
+            }
         }
     }
     Ok(())
@@ -312,9 +394,11 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
     }
 
     // 2. Browser index -> peer browser caches.
+    let mut probed_peers = false;
     if !bypass_peers {
         let candidates = state.index.lock().lookup_all(doc, requester);
         for peer in candidates.into_iter().take(MAX_PEER_PROBES) {
+            probed_peers = true;
             if state.config.direct_forward {
                 match order_direct_push(state, PeerId(client), peer, url) {
                     Ok(txn) => {
@@ -350,7 +434,14 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
         }
     }
 
-    // 3. Origin server.
+    // 3. Origin server. Reaching this point after probing peers means the
+    // index path degraded gracefully instead of failing the request.
+    if probed_peers {
+        state
+            .counters
+            .peer_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
     match fetch_from_origin(state, url) {
         Ok(body) => {
             state
@@ -365,11 +456,17 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
             state.index.lock().on_store(requester, doc);
             ok_response("origin", &cached)
         }
-        Err(OriginError::NotFound) => response(status::NOT_FOUND, "Not Found"),
-        Err(OriginError::Io(e)) => response(
-            status::NOT_FOUND,
-            &format!("Origin Unreachable ({})", e.kind()),
-        ),
+        Err(e) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            match e {
+                OriginError::NotFound => response(status::NOT_FOUND, "Not Found"),
+                OriginError::Unavailable => response(status::UNAVAILABLE, "Origin Unavailable"),
+                OriginError::Io(e) => response(
+                    status::UNAVAILABLE,
+                    &format!("Origin Unreachable ({})", e.kind()),
+                ),
+            }
+        }
     }
 }
 
@@ -407,6 +504,11 @@ fn stats_response(state: &ProxyState) -> Message {
             "Direct-Pushes",
             c.direct_pushes.load(Ordering::Relaxed).to_string(),
         )
+        .header(
+            "Peer-Fallbacks",
+            c.peer_fallbacks.load(Ordering::Relaxed).to_string(),
+        )
+        .header("Errors", c.errors.load(Ordering::Relaxed).to_string())
 }
 
 fn ok_response(source: &str, doc: &CachedDoc) -> Message {
@@ -418,6 +520,11 @@ fn ok_response(source: &str, doc: &CachedDoc) -> Message {
 
 /// Mediated peer fetch: the peer sees only a transaction id and the URL,
 /// never the requester's identity.
+///
+/// Transport failures (refused dial, deadline expiry, truncated frame) are
+/// retried up to `peer_retries` extra times with backoff; an explicit
+/// `410 Gone` is authoritative (the peer no longer caches the document)
+/// and returns immediately as `ErrorKind::NotFound`.
 fn fetch_from_peer(
     state: &ProxyState,
     requester: PeerId,
@@ -430,12 +537,30 @@ fn fetch_from_peer(
         .get(&peer.0)
         .copied()
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer not registered"))?;
+    let mut attempts_left = state.config.peer_retries;
+    let mut backoff = RETRY_BACKOFF;
+    loop {
+        match probe_peer_once(state, requester, addr, url) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound && attempts_left > 0 => {
+                attempts_left -= 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One mediated PEERGET probe, with its own relay transaction.
+fn probe_peer_once(
+    state: &ProxyState,
+    requester: PeerId,
+    addr: SocketAddr,
+    url: &str,
+) -> Result<CachedDoc, io::Error> {
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<CachedDoc> {
-        let stream = TcpStream::connect_timeout(&addr, PEER_TIMEOUT)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(PEER_TIMEOUT))?;
-        stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+        let stream = dial_with_deadline(addr, state.config.peer_deadline())?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         write_message(
@@ -497,10 +622,7 @@ fn order_direct_push(
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "requester not registered"))?;
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<()> {
-        let stream = TcpStream::connect_timeout(&peer_addr, PEER_TIMEOUT)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(PEER_TIMEOUT))?;
-        stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+        let stream = dial_with_deadline(peer_addr, state.config.peer_deadline())?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         write_message(
@@ -530,6 +652,8 @@ fn order_direct_push(
 
 enum OriginError {
     NotFound,
+    /// The origin kept failing (5xx or garbage) after every retry.
+    Unavailable,
     Io(io::Error),
 }
 
@@ -540,8 +664,7 @@ struct OriginConn {
 }
 
 fn origin_dial(state: &ProxyState) -> io::Result<OriginConn> {
-    let stream = TcpStream::connect(state.config.origin_addr)?;
-    stream.set_nodelay(true)?;
+    let stream = dial_with_deadline(state.config.origin_addr, state.config.origin_deadline())?;
     Ok(OriginConn {
         reader: BufReader::new(stream.try_clone()?),
         writer: stream,
@@ -557,29 +680,30 @@ fn origin_request(conn: &mut OriginConn, url: &str) -> io::Result<Message> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "origin closed connection"))
 }
 
-/// Fetches `url` over a pooled keep-alive origin connection. A checked-out
-/// connection may have gone stale since its last use (origin restart, RST);
-/// in that case the fetch retries exactly once on a fresh dial. Connections
-/// that completed a well-framed exchange are checked back in, capped at the
-/// worker count (at most one origin connection per concurrently fetching
-/// worker is ever useful).
-fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginError> {
+/// One origin exchange over a pooled keep-alive connection. A checked-out
+/// connection may have gone stale since its last use (origin restart,
+/// RST); in that case the exchange redials exactly once (not counted as a
+/// retry — nothing was ever asked of the origin). Connections that
+/// completed a well-framed exchange are checked back in, capped at the
+/// worker count; a connection that errored (possibly mid-frame) is
+/// discarded so a desynchronised stream can never be reused.
+fn origin_attempt(state: &ProxyState, url: &str) -> io::Result<Message> {
     let pooled = state.origin_pool.lock().pop();
     let reused = pooled.is_some();
     let mut conn = match pooled {
         Some(conn) => conn,
-        None => origin_dial(state).map_err(OriginError::Io)?,
+        None => origin_dial(state)?,
     };
     let reply = match origin_request(&mut conn, url) {
         Ok(reply) => reply,
         Err(_) if reused => {
-            conn = origin_dial(state).map_err(OriginError::Io)?;
-            origin_request(&mut conn, url).map_err(OriginError::Io)?
+            conn = origin_dial(state)?;
+            origin_request(&mut conn, url)?
         }
-        Err(e) => return Err(OriginError::Io(e)),
+        Err(e) => return Err(e),
     };
-    // Even a 404 leaves the framing in sync, so the connection stays
-    // reusable either way.
+    // Any fully framed reply (404s and 500s included) leaves the
+    // connection in sync and reusable.
     let cap = if state.config.worker_threads == 0 {
         crate::pool::DEFAULT_WORKERS
     } else {
@@ -590,8 +714,29 @@ fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginErr
         pool.push(conn);
     }
     drop(pool);
-    match response_code(&reply) {
-        Some(status::OK) => Ok(reply.body),
-        _ => Err(OriginError::NotFound),
+    Ok(reply)
+}
+
+/// Fetches `url` from the origin with bounded retries: transport failures
+/// and 5xx replies are retried up to `origin_retries` extra times with
+/// backoff; 200 and 404 are authoritative.
+fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginError> {
+    let mut attempts_left = state.config.origin_retries;
+    let mut backoff = RETRY_BACKOFF;
+    loop {
+        let failure = match origin_attempt(state, url) {
+            Ok(reply) => match response_code(&reply) {
+                Some(status::OK) => return Ok(reply.body),
+                Some(status::NOT_FOUND) => return Err(OriginError::NotFound),
+                _ => OriginError::Unavailable,
+            },
+            Err(e) => OriginError::Io(e),
+        };
+        if attempts_left == 0 {
+            return Err(failure);
+        }
+        attempts_left -= 1;
+        std::thread::sleep(backoff);
+        backoff *= 2;
     }
 }

@@ -1,10 +1,13 @@
 //! Test-bed harness: origin + proxy + N client agents on loopback.
 
-use crate::client::ClientAgent;
+use crate::client::{ClientAgent, ClientConfig};
 use crate::error::ProxyError;
+use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
 use crate::proxy::{ProxyConfig, ProxyServer};
 use crate::store::DocumentStore;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of a full loopback deployment.
 #[derive(Debug, Clone)]
@@ -27,6 +30,24 @@ pub struct TestBedConfig {
     pub proxy_workers: usize,
     /// Proxy accept backlog. `0` (the default) uses the library default.
     pub proxy_backlog: usize,
+    /// Client-side deadline on the proxy connection (`Duration::ZERO`
+    /// disables it).
+    pub client_timeout: Duration,
+    /// Extra client fetch attempts for retryable failures.
+    pub client_retries: u32,
+    /// Proxy-side deadline for peer probes (`Duration::ZERO` uses the
+    /// library default).
+    pub peer_timeout: Duration,
+    /// Extra proxy attempts per failed peer probe.
+    pub peer_retries: u32,
+    /// Proxy-side deadline for origin fetches (`Duration::ZERO` uses the
+    /// library default).
+    pub origin_timeout: Duration,
+    /// Extra proxy attempts per failed origin fetch.
+    pub origin_retries: u32,
+    /// Shared fault plan wired into the origin, proxy, and every client's
+    /// peer-serving loop (chaos testing). `None` runs everything honest.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for TestBedConfig {
@@ -40,6 +61,13 @@ impl Default for TestBedConfig {
             key_seed: 0xbaf5,
             proxy_workers: 0,
             proxy_backlog: 0,
+            client_timeout: Duration::from_secs(5),
+            client_retries: 2,
+            peer_timeout: Duration::ZERO,
+            peer_retries: 1,
+            origin_timeout: Duration::ZERO,
+            origin_retries: 1,
+            fault_plan: None,
         }
     }
 }
@@ -66,7 +94,12 @@ impl TestBed {
         } else {
             config.proxy_workers
         };
-        let origin = OriginServer::start(store)?;
+        let origin = OriginServer::start_with_faults(
+            store,
+            crate::pool::DEFAULT_WORKERS,
+            crate::pool::DEFAULT_BACKLOG,
+            config.fault_plan.clone(),
+        )?;
         let proxy = ProxyServer::start(ProxyConfig {
             cache_capacity: config.proxy_capacity,
             origin_addr: origin.addr(),
@@ -75,10 +108,28 @@ impl TestBed {
             direct_forward: config.direct_forward,
             worker_threads: workers,
             accept_backlog: config.proxy_backlog,
+            peer_timeout: config.peer_timeout,
+            peer_retries: config.peer_retries,
+            origin_timeout: config.origin_timeout,
+            origin_retries: config.origin_retries,
+            faults: config.fault_plan.clone(),
         })?;
         let key = proxy.public_key();
         let clients = (0..config.n_clients)
-            .map(|id| ClientAgent::start(id, proxy.addr(), key, config.browser_capacity))
+            .map(|id| {
+                ClientAgent::start_with(
+                    id,
+                    proxy.addr(),
+                    key,
+                    ClientConfig {
+                        browser_capacity: config.browser_capacity,
+                        proxy_deadline: config.client_timeout,
+                        retries: config.client_retries,
+                        retry_backoff: Duration::from_millis(10),
+                        faults: config.fault_plan.clone(),
+                    },
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(TestBed {
             origin,

@@ -286,7 +286,9 @@ fn stats_verb_over_one_keepalive_connection() {
         assert_eq!(field("Origin-Fetches"), stats.origin_fetches);
         assert_eq!(field("Invalidations"), stats.invalidations);
         assert_eq!(field("Peer-Failures"), stats.peer_failures);
+        assert_eq!(field("Peer-Fallbacks"), stats.peer_fallbacks);
         assert_eq!(field("Direct-Pushes"), stats.direct_pushes);
+        assert_eq!(field("Errors"), stats.errors);
         assert!(stats.requests >= 3);
     }
     bed.shutdown();
@@ -315,6 +317,78 @@ fn keep_alive_reuses_one_connection() {
     assert_eq!(bed.clients[0].reconnects(), 0);
     assert_eq!(bed.proxy.open_connections(), 1);
     bed.shutdown();
+}
+
+#[test]
+fn stalled_proxy_reply_times_out_instead_of_hanging() {
+    use baps_proxy::{FaultConfig, FaultPlan, ProxyError};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // Every GET reply stalls mid-frame far longer than the client's read
+    // deadline: the fetch must surface a timeout quickly, never hang.
+    let plan = Arc::new(FaultPlan::new(
+        7,
+        FaultConfig {
+            p_proxy_stall: 1.0,
+            stall: Duration::from_secs(2),
+            ..FaultConfig::default()
+        },
+    ));
+    let store = DocumentStore::synthetic(4, 200, 400, 42);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: 1,
+            client_timeout: Duration::from_millis(150),
+            client_retries: 0,
+            fault_plan: Some(plan),
+            ..TestBedConfig::default()
+        },
+    )
+    .unwrap();
+
+    let t0 = Instant::now();
+    let err = bed.clients[0].fetch("http://origin/doc/0").unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(err, ProxyError::Timeout),
+        "expected timeout: {err}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "fetch blocked for {elapsed:?} despite a 150 ms deadline"
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn tamper_mode_matrix_never_yields_wrong_bytes() {
+    use baps_proxy::TamperMode;
+
+    // Every way a malicious peer can lie — corrupted bytes, a truncated
+    // body, a forged watermark — must be caught by the requester's
+    // verification and answered with correct bytes from elsewhere.
+    for mode in [
+        TamperMode::FlipByte,
+        TamperMode::Truncate,
+        TamperMode::ForgeWatermark,
+    ] {
+        let bed = bed(3, 2_500, 64 << 10);
+        let url0 = "http://origin/doc/0";
+        let r0 = bed.clients[0].fetch(url0).unwrap();
+        for i in 1..8 {
+            bed.clients[2]
+                .fetch(&format!("http://origin/doc/{i}"))
+                .unwrap();
+        }
+        bed.clients[0].set_tamper_mode(mode);
+
+        let r1 = bed.clients[1].fetch(url0).unwrap();
+        assert_eq!(r1.body, r0.body, "{mode:?}: wrong bytes served");
+        assert_ne!(r1.source, Source::Peer, "{mode:?}: tampered peer trusted");
+        bed.shutdown();
+    }
 }
 
 #[test]

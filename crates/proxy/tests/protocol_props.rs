@@ -1,7 +1,8 @@
 //! Property-based tests of the wire protocol: round-trips, pipelining, and
 //! robustness against arbitrary (malformed) byte streams.
 
-use baps_proxy::{read_message, write_message, Message};
+use baps_proxy::protocol::MAX_BODY;
+use baps_proxy::{encode_message, read_message, write_message, Message};
 use proptest::prelude::*;
 use std::io::BufReader;
 
@@ -92,5 +93,57 @@ proptest! {
         buf.truncate(buf.len() - cut);
         let result = read_message(&mut BufReader::new(buf.as_slice()));
         prop_assert!(result.is_err(), "truncated body must error");
+    }
+
+    /// A stream that ends inside the header section (before the blank
+    /// line) errors instead of fabricating a message or hanging.
+    #[test]
+    fn truncated_header_section_rejected(msg in message(), frac in 0.0f64..1.0) {
+        prop_assume!(!msg.body.is_empty());
+        let frame = encode_message(&msg).unwrap();
+        let head_len = frame.len() - msg.body.len();
+        // Keep at least the first byte, cut strictly before the final
+        // CRLF of the blank line so the header section never completes.
+        let cut = 1 + ((head_len - 2) as f64 * frac) as usize;
+        let result = read_message(&mut BufReader::new(&frame[..cut.min(head_len - 1)]));
+        prop_assert!(result.is_err(), "truncated headers must error");
+    }
+
+    /// A Content-Length above the frame cap is rejected up front — the
+    /// reader must not allocate or wait for the declared bytes.
+    #[test]
+    fn oversized_content_length_rejected(extra in 1u64..1_000_000_000) {
+        let declared = MAX_BODY as u64 + extra;
+        let raw = format!("BAPS/1.0 200 OK\r\nContent-Length: {declared}\r\n\r\n");
+        let result = read_message(&mut BufReader::new(raw.as_bytes()));
+        prop_assert!(result.is_err(), "oversized length must error");
+    }
+
+    /// Negative, fractional, overflowing, or non-numeric Content-Length
+    /// values are rejected as malformed.
+    #[test]
+    fn malformed_content_length_rejected(
+        bad in "-[0-9]{1,9}|[0-9]{1,6}\\.[0-9]{1,3}|[A-Za-z]{1,8}|[0-9]{30,40}| |0x[0-9a-f]{1,8}",
+    ) {
+        let raw = format!("GET /x BAPS/1.0\r\nContent-Length: {bad}\r\n\r\n");
+        let result = read_message(&mut BufReader::new(raw.as_bytes()));
+        prop_assert!(result.is_err(), "malformed length {bad:?} must error");
+    }
+
+    /// A body shorter than its declared Content-Length errors; the reader
+    /// never hands back fewer bytes than the frame promised.
+    #[test]
+    fn body_shorter_than_declared_rejected(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        delta in 1usize..4096,
+    ) {
+        let mut raw = format!(
+            "BAPS/1.0 200 OK\r\nContent-Length: {}\r\n\r\n",
+            body.len() + delta
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let result = read_message(&mut BufReader::new(raw.as_slice()));
+        prop_assert!(result.is_err(), "short body must error");
     }
 }

@@ -16,4 +16,10 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== chaos soak (fixed seed)"
+# Deterministic fault-injection soak: 2k requests under seed 42, run twice
+# internally to prove determinism. Exits nonzero with a reproduction line
+# on any invariant violation.
+cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
+
 echo "CI OK"

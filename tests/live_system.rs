@@ -115,6 +115,58 @@ fn live_peer_hit_with_integrity_end_to_end() {
 }
 
 #[test]
+fn stale_index_eviction_race_falls_back_and_heals() {
+    // Race: a browser evicts a document, but the proxy's index still lists
+    // it (the INVALIDATE hasn't happened — here we silently purge to model
+    // the in-flight window). The next requester must transparently fall
+    // back to the origin, and the stale index entry must be removed.
+    let store = DocumentStore::synthetic(16, 200, 2_000, 42);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: 3,
+            proxy_capacity: 2_500, // fits ~1 doc: forces the peer path
+            browser_capacity: 64 << 10,
+            ..TestBedConfig::default()
+        },
+    )
+    .unwrap();
+    let url0 = "http://origin/doc/0";
+    let r0 = bed.clients[0].fetch(url0).unwrap();
+    // Flush doc/0 out of the proxy cache so only client 0's browser has it.
+    for i in 1..8 {
+        bed.clients[2]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+
+    // Evict behind the index's back: no INVALIDATE is sent.
+    assert!(bed.clients[0].purge_local(url0), "doc was in the browser");
+    assert!(
+        bed.proxy.index_holds(0, url0),
+        "index must still (wrongly) list client 0 as a holder"
+    );
+
+    // The probe gets 410 Gone, the proxy falls back to the origin, and the
+    // requester still receives the correct bytes.
+    let r1 = bed.clients[1].fetch(url0).unwrap();
+    assert_eq!(r1.source, Source::Origin, "fallback must reach the origin");
+    assert_eq!(r1.body, r0.body);
+
+    let stats = bed.proxy.stats();
+    assert!(stats.peer_failures >= 1, "probe failure counted: {stats:?}");
+    assert!(
+        stats.peer_fallbacks >= 1,
+        "degraded fallback counted: {stats:?}"
+    );
+    assert!(
+        !bed.proxy.index_holds(0, url0),
+        "stale index entry must be invalidated after the failed probe"
+    );
+    bed.shutdown();
+}
+
+#[test]
 fn client_survives_proxy_side_connection_drop() {
     let store = DocumentStore::synthetic(10, 200, 1_000, 9);
     let bed = TestBed::start(
