@@ -180,7 +180,7 @@ fn run_soak(args: SoakArgs) -> SoakReport {
         }
         match result {
             Ok(res) => {
-                if res.body != expected[&url] {
+                if res.body[..] != expected[&url][..] {
                     violations.push(format!(
                         "request {r}: WRONG BYTES for {url} from {:?} \
                          ({} bytes, expected {})",

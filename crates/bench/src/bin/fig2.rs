@@ -8,7 +8,7 @@
 //! proxy-and-local-browser; local-browser-cache-only is lowest;
 //! proxy-and-local-browser only slightly beats proxy-cache-only.
 
-use baps_bench::{banner, load_profile, sweep_org, Cli};
+use baps_bench::{banner, load_profile, sweep_orgs, Cli};
 use baps_core::{BrowserSizing, Organization};
 use baps_sim::{pct, RunResult, Table, PROXY_SCALE_POINTS};
 use baps_trace::Profile;
@@ -18,14 +18,13 @@ fn main() {
     banner("Figure 2: five caching organizations on NLANR-uc (min browser cache)");
     let (trace, stats) = load_profile(Profile::NlanrUc, cli);
 
+    // All five organizations' scale sweeps share one worker pool.
     let runs: Vec<(Organization, Vec<RunResult>)> = Organization::all()
         .iter()
-        .map(|&org| {
-            (
-                org,
-                sweep_org(&trace, &stats, org, |_| BrowserSizing::Minimum),
-            )
-        })
+        .copied()
+        .zip(sweep_orgs(&trace, &stats, &Organization::all(), |_| {
+            BrowserSizing::Minimum
+        }))
         .collect();
 
     let header: Vec<String> = std::iter::once("organization".to_owned())

@@ -12,15 +12,26 @@
 //!
 //! ```text
 //! cargo run --release --bin live_load [n_clients] [requests_per_client] [n_docs]
+//! cargo run --release --bin live_load -- --sweep [--out BENCH_live.json] \
+//!     [total_requests] [n_docs]
 //! ```
 //!
 //! Defaults: 8 clients x 2000 requests over 64 documents.
+//!
+//! `--sweep` runs the keep-alive mode at 1/2/4/8/16 worker clients with a
+//! fixed seed and a fixed total request count (split evenly across
+//! workers), and writes the scaling curve as JSON to `--out`. See the
+//! README for how to read the file.
 
 use baps_proxy::{DocumentStore, TestBed, TestBedConfig};
 use baps_sim::histo::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Worker counts of the thread-scaling sweep.
+const SWEEP_WORKERS: [u32; 5] = [1, 2, 4, 8, 16];
 
 struct ModeReport {
     label: &'static str,
@@ -114,6 +125,126 @@ fn run_mode(keep_alive: bool, n_clients: u32, per_client: u32, n_docs: usize) ->
     }
 }
 
+/// Interleaved measurement rounds per sweep point; each point keeps its
+/// best round. Rounds are interleaved (1,2,…,16, then again) rather than
+/// repeated back-to-back so slow drift (CPU frequency, container
+/// throttling) hits every point equally.
+const SWEEP_ROUNDS: usize = 3;
+
+/// Flatness tolerance for the 1→8-worker verdict. The sweep exists to
+/// catch *serialization collapses* — a global lock or an undersized
+/// downstream pool shows up as a multiple, not a percentage (an origin
+/// pool that stopped scaling cost 13x here) — so the band only needs to
+/// sit above scheduler jitter, which is ±10–15% for loopback
+/// microbenchmarks on a shared single-core host.
+const SWEEP_FLAT_TOLERANCE: f64 = 0.85;
+
+/// Runs the keep-alive thread-scaling sweep and renders `BENCH_live.json`.
+///
+/// Total work is fixed: each point splits `total` requests evenly across
+/// its workers, so the curve isolates how throughput responds to
+/// concurrency rather than to a growing request count. The store seed and
+/// per-worker RNG seeds are constants, making the request schedule
+/// identical run to run.
+fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
+    println!(
+        "live_load --sweep: keep-alive, {total} total requests per point, {n_docs} docs, \
+         workers {SWEEP_WORKERS:?}, best of {SWEEP_ROUNDS} rounds\n"
+    );
+    // Warmup: touch the page cache / allocator / loopback stack once so
+    // the first measured point doesn't pay the process's cold-start costs.
+    let _ = run_mode(true, 2, (total / 16).max(1), n_docs);
+
+    let mut points: Vec<(u32, Option<ModeReport>)> =
+        SWEEP_WORKERS.iter().map(|&w| (w, None)).collect();
+    for round in 0..SWEEP_ROUNDS {
+        for (workers, best) in &mut points {
+            let per_client = (total / *workers).max(1);
+            let report = run_mode(true, *workers, per_client, n_docs);
+            println!(
+                "round {}  {:>3} workers  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   \
+                 ({} requests in {:.2} s)",
+                round + 1,
+                workers,
+                report.req_per_sec(),
+                report.histo.quantile_ms(0.50),
+                report.histo.quantile_ms(0.99),
+                report.requests,
+                report.wall_secs,
+            );
+            if best
+                .as_ref()
+                .is_none_or(|b| report.req_per_sec() > b.req_per_sec())
+            {
+                *best = Some(report);
+            }
+        }
+    }
+    let points: Vec<(u32, ModeReport)> = points
+        .into_iter()
+        .map(|(w, r)| (w, r.expect("every point measured")))
+        .collect();
+
+    println!();
+    for (workers, report) in &points {
+        println!(
+            "best     {:>3} workers  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            workers,
+            report.req_per_sec(),
+            report.histo.quantile_ms(0.50),
+            report.histo.quantile_ms(0.99),
+        );
+    }
+
+    // Monotone-or-flat up to 8 workers: each point within the tolerance
+    // band of the best seen at lower concurrency.
+    let mut best = 0f64;
+    let mut monotone_or_flat = true;
+    for (workers, report) in &points {
+        if *workers <= 8 {
+            if report.req_per_sec() < best * SWEEP_FLAT_TOLERANCE {
+                monotone_or_flat = false;
+            }
+            best = best.max(report.req_per_sec());
+        }
+    }
+
+    // The in-tree serde shim is a no-op, so the JSON is rendered by hand.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"live_load_thread_scaling\",\n");
+    json.push_str("  \"mode\": \"keep-alive\",\n");
+    let _ = writeln!(json, "  \"total_requests_per_point\": {total},");
+    let _ = writeln!(json, "  \"docs\": {n_docs},");
+    json.push_str("  \"store_seed\": 24301,\n");
+    let _ = writeln!(json, "  \"monotone_or_flat_1_to_8\": {monotone_or_flat},");
+    json.push_str("  \"points\": [\n");
+    for (i, (workers, r)) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workers\": {}, \"req_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"requests\": {}, \"wall_secs\": {:.3}}}",
+            workers,
+            r.req_per_sec(),
+            r.histo.quantile_ms(0.50),
+            r.histo.quantile_ms(0.99),
+            r.histo.mean_ms(),
+            r.requests,
+            r.wall_secs,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "\nwrote {out_path} (monotone-or-flat 1→8 workers: {})",
+        if monotone_or_flat { "yes" } else { "NO" }
+    );
+}
+
 fn arg<T: std::str::FromStr>(raw: Option<String>, name: &str, default: T) -> T {
     match raw {
         None => default,
@@ -125,7 +256,31 @@ fn arg<T: std::str::FromStr>(raw: Option<String>, name: &str, default: T) -> T {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut sweep = false;
+    let mut out_path = "BENCH_live.json".to_owned();
+    let mut positional = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--sweep" => sweep = true,
+            "--out" => {
+                out_path = raw.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut args = positional.into_iter();
+
+    if sweep {
+        let total: u32 = arg(args.next(), "total_requests", 8000);
+        let n_docs: usize = arg(args.next(), "n_docs", 64);
+        run_sweep(total, n_docs, &out_path);
+        return;
+    }
+
     let n_clients: u32 = arg(args.next(), "n_clients", 8);
     let per_client: u32 = arg(args.next(), "per_client", 2000);
     let n_docs: usize = arg(args.next(), "n_docs", 64);

@@ -5,48 +5,124 @@
 //! ```sh
 //! cargo run --release -p baps-bench --bin runall | tee experiments.txt
 //! ```
+//!
+//! With `--parallel`, the binaries fan out over a scoped worker pool with
+//! captured output; reports are still printed in input order, so the
+//! emitted text is identical to a sequential run, just wall-clock faster
+//! on multi-core machines. Remaining arguments are forwarded to every
+//! binary (e.g. `--scale 0.1 --csv`).
 
-use std::process::{Command, Stdio};
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const BINS: [&str; 15] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "memhit",
+    "overhead",
+    "sharing",
+    "security",
+    "ablation",
+    "latency",
+    "hierarchy",
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let bins = [
-        "table1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "memhit",
-        "overhead",
-        "sharing",
-        "security",
-        "ablation",
-        "latency",
-        "hierarchy",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        let path = dir.join(bin);
-        eprintln!(">>> running {bin} {}", args.join(" "));
-        let status = Command::new(&path)
-            .args(&args)
-            .stdout(Stdio::inherit())
-            .stderr(Stdio::inherit())
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                std::process::exit(1);
+    let mut parallel = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--parallel" {
+                parallel = true;
+                false
+            } else {
+                true
             }
-            Err(e) => {
-                eprintln!("failed to launch {} ({e}); build with `cargo build --release -p baps-bench` first", path.display());
-                std::process::exit(1);
+        })
+        .collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+
+    if !parallel {
+        for bin in BINS {
+            eprintln!(">>> running {bin} {}", args.join(" "));
+            let status = Command::new(dir.join(bin))
+                .args(&args)
+                .stdout(Stdio::inherit())
+                .stderr(Stdio::inherit())
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => fail(bin, &format!("exited with {s}")),
+                Err(e) => launch_fail(bin, &e),
             }
         }
+        return;
     }
+
+    // Parallel mode: a shared cursor hands out binary indices; each slot
+    // stores the captured output and the coordinator prints slots in input
+    // order, blocking on the earliest unfinished one.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(BINS.len());
+    eprintln!(
+        ">>> running {} experiment binaries over {threads} workers",
+        BINS.len()
+    );
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<std::io::Result<Output>>>> =
+        (0..BINS.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bin) = BINS.get(i) else { break };
+                let out = Command::new(dir.join(bin)).args(&args).output();
+                *slots[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+        // Drain in input order as results land; parking briefly instead of
+        // a condvar keeps the loop simple (runs are seconds, not micros).
+        for (i, bin) in BINS.iter().enumerate() {
+            let output = loop {
+                if let Some(out) = slots[i].lock().expect("slot lock").take() {
+                    break out;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            };
+            eprintln!(">>> {bin} {}", args.join(" "));
+            match output {
+                Ok(out) => {
+                    std::io::stdout().write_all(&out.stdout).expect("stdout");
+                    std::io::stderr().write_all(&out.stderr).expect("stderr");
+                    if !out.status.success() {
+                        fail(bin, &format!("exited with {}", out.status));
+                    }
+                }
+                Err(e) => launch_fail(bin, &e),
+            }
+        }
+    });
+}
+
+fn fail(bin: &str, what: &str) -> ! {
+    eprintln!("{bin} {what}");
+    std::process::exit(1);
+}
+
+fn launch_fail(bin: &str, e: &std::io::Error) -> ! {
+    eprintln!(
+        "failed to launch {bin} ({e}); build with `cargo build --release -p baps-bench` first"
+    );
+    std::process::exit(1);
 }

@@ -80,7 +80,26 @@ pub fn anchor(v: f64, known: bool) -> String {
 }
 
 use baps_core::{BrowserSizing, LatencyParams, Organization, SystemConfig};
-use baps_sim::{pct, run_sweep, RunResult, Table, PROXY_SCALE_POINTS};
+use baps_sim::{pct, run_matrix, run_sweep, MatrixGroup, RunResult, Table, PROXY_SCALE_POINTS};
+
+/// Builds the scale-point configurations for one organization.
+fn org_configs(
+    stats: &TraceStats,
+    org: Organization,
+    browser_sizing_for: &impl Fn(f64) -> BrowserSizing,
+) -> Vec<SystemConfig> {
+    PROXY_SCALE_POINTS
+        .iter()
+        .map(|&frac| {
+            let mut cfg = SystemConfig::paper_default(
+                org,
+                ((stats.infinite_cache_bytes as f64 * frac).round() as u64).max(1),
+            );
+            cfg.browser_sizing = browser_sizing_for(frac);
+            cfg
+        })
+        .collect()
+}
 
 /// Runs one organization across the paper's proxy scale points.
 ///
@@ -93,18 +112,35 @@ pub fn sweep_org(
     org: Organization,
     browser_sizing_for: impl Fn(f64) -> BrowserSizing,
 ) -> Vec<RunResult> {
-    let configs: Vec<SystemConfig> = PROXY_SCALE_POINTS
+    let configs = org_configs(stats, org, &browser_sizing_for);
+    run_sweep(trace, stats, &configs, &LatencyParams::paper())
+}
+
+/// Runs several organizations across the paper's proxy scale points
+/// through one pooled [`run_matrix`] call, so no worker idles at an
+/// organization boundary. Results arrive in `orgs` order and are
+/// identical to calling [`sweep_org`] per organization.
+pub fn sweep_orgs(
+    trace: &Trace,
+    stats: &TraceStats,
+    orgs: &[Organization],
+    browser_sizing_for: impl Fn(f64) -> BrowserSizing,
+) -> Vec<Vec<RunResult>> {
+    let latency = LatencyParams::paper();
+    let config_lists: Vec<Vec<SystemConfig>> = orgs
         .iter()
-        .map(|&frac| {
-            let mut cfg = SystemConfig::paper_default(
-                org,
-                ((stats.infinite_cache_bytes as f64 * frac).round() as u64).max(1),
-            );
-            cfg.browser_sizing = browser_sizing_for(frac);
-            cfg
+        .map(|&org| org_configs(stats, org, &browser_sizing_for))
+        .collect();
+    let groups: Vec<MatrixGroup<'_>> = config_lists
+        .iter()
+        .map(|configs| MatrixGroup {
+            trace,
+            stats,
+            configs,
+            latency: &latency,
         })
         .collect();
-    run_sweep(trace, stats, &configs, &LatencyParams::paper())
+    run_matrix(&groups).0
 }
 
 /// Renders the two-organization comparison used by Figs. 4–7: hit ratios
@@ -118,10 +154,18 @@ pub fn print_two_org_figure(profile: Profile, cli: Cli, figure: &str) {
     ));
     let (trace, stats) = load_profile(profile, cli);
     let sizing = BrowserSizing::FractionOfClientInfinite;
-    let baps = sweep_org(&trace, &stats, Organization::BrowsersAware, sizing);
-    let plb = sweep_org(&trace, &stats, Organization::ProxyAndLocalBrowser, |f| {
-        sizing(f)
-    });
+    let mut runs = sweep_orgs(
+        &trace,
+        &stats,
+        &[
+            Organization::BrowsersAware,
+            Organization::ProxyAndLocalBrowser,
+        ],
+        sizing,
+    )
+    .into_iter();
+    let baps = runs.next().expect("browsers-aware sweep");
+    let plb = runs.next().expect("proxy-and-local-browser sweep");
 
     let header: Vec<String> = std::iter::once("series".to_owned())
         .chain(PROXY_SCALE_POINTS.iter().map(|f| format!("{}%", f * 100.0)))

@@ -36,7 +36,13 @@ impl Watermark {
 
     /// Renders as hex (for wire headers).
     pub fn to_hex(self) -> String {
-        self.to_bytes().iter().map(|b| format!("{b:02x}")).collect()
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut out = String::with_capacity(64);
+        for b in self.to_bytes() {
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xf) as usize] as char);
+        }
+        out
     }
 
     /// Parses the hex form produced by [`Watermark::to_hex`].

@@ -4,7 +4,9 @@
 use crate::error::ProxyError;
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{dial_with_deadline, WorkerPool};
-use crate::protocol::{read_message, response, response_code, status, write_message, Message};
+use crate::protocol::{
+    read_message, response, response_code, status, write_message, Body, Message,
+};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
 use parking_lot::{Condvar, Mutex};
@@ -91,11 +93,12 @@ pub enum Source {
     Origin,
 }
 
-/// A successful fetch.
+/// A successful fetch. The body is a shared handle: a browser-cache hit
+/// returns the cached allocation itself, not a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchResult {
     /// The document body.
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Where it was served from.
     pub source: Source,
 }
@@ -150,6 +153,12 @@ pub struct ClientAgent {
     /// The persistent keep-alive connection to the proxy, dialed lazily
     /// and redialed transparently when the proxy drops it.
     proxy_conn: Mutex<Option<ProxyConn>>,
+    /// Eviction notices awaiting the next request. An eviction does not
+    /// cost a synchronous INVALIDATE round trip; the notice rides in the
+    /// `Evicted` header of the next GET. The proxy tolerates the brief
+    /// staleness the same way it tolerates a crashed client (probe fails,
+    /// index self-heals).
+    pending_evictions: Mutex<Vec<String>>,
     /// When false, every [`ClientAgent::roundtrip`] dials a fresh
     /// connection (the pre-keep-alive behaviour, kept for comparison
     /// benchmarks).
@@ -233,6 +242,7 @@ impl ClientAgent {
             shutdown,
             handle: Some(handle),
             proxy_conn: Mutex::new(None),
+            pending_evictions: Mutex::new(Vec::new()),
             keep_alive: AtomicBool::new(true),
             reconnects: AtomicU64::new(0),
         };
@@ -384,10 +394,22 @@ impl ClientAgent {
     fn fetch_via_proxy(&self, url: &str, bypass: bool) -> Result<FetchResult, ProxyError> {
         let mut req =
             Message::new(format!("GET {url} BAPS/1.0")).header("Client", self.id.to_string());
+        let notices: Vec<String> = std::mem::take(&mut *self.pending_evictions.lock());
+        if !notices.is_empty() {
+            req = req.header("Evicted", notices.join(" "));
+        }
         if bypass {
             req = req.header("Bypass-Peers", "1");
         }
-        let reply = self.roundtrip(req)?;
+        let reply = match self.roundtrip(req) {
+            Ok(reply) => reply,
+            Err(e) => {
+                // The notices may not have reached the proxy: requeue them
+                // (invalidation is idempotent, so a duplicate is harmless).
+                self.pending_evictions.lock().extend(notices);
+                return Err(e);
+            }
+        };
         match response_code(&reply) {
             Some(status::OK) => {}
             Some(status::NOT_FOUND) => return Err(ProxyError::NotFound(url.to_owned())),
@@ -418,9 +440,7 @@ impl ClientAgent {
                 verify_document(&self.proxy_key, &doc.body, &doc.watermark)
                     .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
                 let evicted = self.state.cache.lock().insert(url, doc.clone());
-                for victim in evicted {
-                    self.invalidate(&victim)?;
-                }
+                self.pending_evictions.lock().extend(evicted);
                 return Ok(FetchResult {
                     body: doc.body,
                     source: Source::Peer,
@@ -435,7 +455,8 @@ impl ClientAgent {
         verify_document(&self.proxy_key, &reply.body, &watermark)
             .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
 
-        // Cache the verified copy; invalidate whatever we evicted.
+        // Cache the verified copy; queue eviction notices for the next
+        // request instead of spending a round trip per victim now.
         let evicted = self.state.cache.lock().insert(
             url,
             CachedDoc {
@@ -443,9 +464,7 @@ impl ClientAgent {
                 watermark,
             },
         );
-        for victim in evicted {
-            self.invalidate(&victim)?;
-        }
+        self.pending_evictions.lock().extend(evicted);
         Ok(FetchResult {
             body: reply.body,
             source,
@@ -559,28 +578,31 @@ impl Drop for ClientAgent {
 }
 
 /// Applies a tamper mode to a document about to be served to a peer:
-/// returns the (possibly corrupted) body and watermark hex to send.
-fn tampered(mode: TamperMode, body: &[u8], watermark_hex: String) -> (Vec<u8>, String) {
-    let mut body = body.to_vec();
+/// returns the (possibly corrupted) body and watermark hex to send. The
+/// honest path shares the cached body; only the corrupting modes copy.
+fn tampered(mode: TamperMode, body: &Body, watermark_hex: String) -> (Body, String) {
     let mut hex = watermark_hex;
-    match mode {
-        TamperMode::Honest => {}
+    let body = match mode {
+        TamperMode::Honest => Arc::clone(body),
         TamperMode::FlipByte => {
-            if let Some(b) = body.first_mut() {
+            let mut bytes = body.to_vec();
+            if let Some(b) = bytes.first_mut() {
                 *b ^= 0xff;
             }
+            bytes.into()
         }
         TamperMode::Truncate => {
             let half = body.len() / 2;
-            body.truncate(half);
+            Body::from(&body[..half])
         }
         TamperMode::ForgeWatermark => {
             // Swap the first hex digit for a different one: still parses
             // as a watermark, but verifies against nothing.
             let forged = if hex.starts_with('0') { "1" } else { "0" };
             hex.replace_range(0..1, forged);
+            Arc::clone(body)
         }
-    }
+    };
     (body, hex)
 }
 
@@ -601,9 +623,9 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
-        let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
+        let tokens = msg.tokens();
         // Fault decisions apply only to requests we serve *to* peers.
-        let faultable = matches!(tokens.first().map(String::as_str), Some("PEERGET" | "PUSH"));
+        let faultable = matches!(tokens.first(), Some(&"PEERGET") | Some(&"PUSH"));
         let fault = match (faultable, state.faults.as_deref()) {
             (true, Some(plan)) => plan.peer_fault(),
             _ => None,
@@ -612,27 +634,27 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             // Vanish mid-conversation: the dialer sees an abrupt EOF.
             return Ok(());
         }
-        let reply = match tokens
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>()
-            .as_slice()
-        {
+        let reply = match tokens.as_slice() {
             _ if fault == Some(FaultKind::PeerRefuse) => {
                 // Claim the document is gone even though we may hold it.
                 response(status::GONE, "Gone")
             }
-            ["PEERGET", url, "BAPS/1.0"] => match state.cache.lock().get(url) {
-                Some(doc) => {
-                    state.peer_serves.fetch_add(1, Ordering::Relaxed);
-                    let (body, hex) =
-                        tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
-                    response(status::OK, "OK")
-                        .header("X-Watermark", hex)
-                        .with_body(body)
+            ["PEERGET", url, "BAPS/1.0"] => {
+                // Clone the handle out so the cache lock is dropped before
+                // the reply is built and written.
+                let doc = state.cache.lock().get(url).cloned();
+                match doc {
+                    Some(doc) => {
+                        state.peer_serves.fetch_add(1, Ordering::Relaxed);
+                        let (body, hex) =
+                            tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
+                        response(status::OK, "OK")
+                            .header("X-Watermark", hex)
+                            .with_body(body)
+                    }
+                    None => response(status::GONE, "Gone"),
                 }
-                None => response(status::GONE, "Gone"),
-            },
+            }
             ["PUSH", url, "BAPS/1.0"] => {
                 // Direct-forward order from the proxy: push the document to
                 // the requester's delivery address before acknowledging.
@@ -693,7 +715,7 @@ fn deliver_to(
     url: &str,
     txn: &str,
     watermark_hex: &str,
-    body: Vec<u8>,
+    body: Body,
 ) -> io::Result<()> {
     let addr: SocketAddr = target
         .parse()

@@ -399,10 +399,13 @@ pub fn write_reply_with_fault<W: Write>(
             Ok(true)
         }
         Some(WireFault::Corrupt) => {
-            let mut bad = reply.clone();
-            if let Some(byte) = bad.body.first_mut() {
+            // Bodies are shared `Arc<[u8]>`; corrupting must not touch the
+            // cached original, so this fault path pays for a private copy.
+            let mut bytes = reply.body.to_vec();
+            if let Some(byte) = bytes.first_mut() {
                 *byte ^= 0xff;
             }
+            let bad = reply.clone().with_body(bytes);
             write_message(w, &bad)?;
             Ok(true)
         }

@@ -20,6 +20,7 @@ pub mod pool;
 pub mod protocol;
 pub mod proxy;
 pub mod runtime;
+pub mod shard;
 pub mod store;
 
 pub use client::{ClientAgent, ClientConfig, FetchResult, Source, TamperMode};
@@ -27,7 +28,8 @@ pub use error::ProxyError;
 pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;
 pub use pool::{dial_with_deadline, ConnRegistry, WorkerPool};
-pub use protocol::{encode_message, read_message, response_code, write_message, Message};
+pub use protocol::{encode_message, read_message, response_code, write_message, Body, Message};
 pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
 pub use runtime::{TestBed, TestBedConfig};
+pub use shard::{auto_shards, ShardedCache, StripedIndex};
 pub use store::{BodyCache, CachedDoc, DocumentStore};

@@ -166,12 +166,14 @@ fn serve_connection(
 fn handle_request(msg: &Message, store: &RwLock<DocumentStore>, hits: &AtomicU64) -> Message {
     let tokens = msg.tokens();
     match tokens.as_slice() {
-        ["GET", url, "ORIGIN/1.0"] => match store.read().get(url) {
+        // `get_shared` hands out the stored allocation: serving a document
+        // is a refcount bump under the read lock, not a copy.
+        ["GET", url, "ORIGIN/1.0"] => match store.read().get_shared(url) {
             Some(body) => {
                 hits.fetch_add(1, Ordering::Relaxed);
                 response(status::OK, "OK")
                     .header("X-Source", "origin")
-                    .with_body(body.to_vec())
+                    .with_body(body)
             }
             None => response(status::NOT_FOUND, "Not Found"),
         },
@@ -200,7 +202,7 @@ mod tests {
         let server = OriginServer::start(store).unwrap();
         let reply = fetch(server.addr(), "http://origin/doc/1");
         assert_eq!(response_code(&reply), Some(200));
-        assert_eq!(reply.body, expect);
+        assert_eq!(&reply.body[..], &expect[..]);
         assert_eq!(server.hits(), 1);
         server.shutdown();
     }
@@ -229,7 +231,7 @@ mod tests {
         let server = OriginServer::start(DocumentStore::synthetic(1, 10, 20, 3)).unwrap();
         assert!(server.mutate("http://origin/doc/0", b"new body".to_vec()));
         let reply = fetch(server.addr(), "http://origin/doc/0");
-        assert_eq!(reply.body, b"new body");
+        assert_eq!(&reply.body[..], b"new body");
     }
 
     #[test]

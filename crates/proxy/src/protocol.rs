@@ -6,7 +6,9 @@
 //!
 //! * `GET <url> BAPS/1.0` — client → proxy document fetch
 //!   (header `Client: <id>`; optional `Bypass-Peers: 1` after a failed
-//!   integrity check);
+//!   integrity check; optional `Evicted: <url> <url> …` carrying
+//!   piggybacked eviction notices, processed before the GET — evictions
+//!   don't spend a round trip each, see `INVALIDATE`);
 //! * `PEERGET <url> BAPS/1.0` — proxy → peer browser-cache fetch
 //!   (header `Txn: <id>`; deliberately **no requester identity**, §6.2);
 //! * `PUSH <url> BAPS/1.0` — proxy → peer, *direct-forward mode* (paper
@@ -46,12 +48,24 @@
 //!
 //! [`ProxyCounters`]: crate::proxy::ProxyCounters
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, IoSlice, Write};
+use std::sync::Arc;
 
 /// Maximum accepted header count (straightforward DoS hygiene).
 const MAX_HEADERS: usize = 64;
 /// Maximum accepted body size.
 pub const MAX_BODY: usize = 64 << 20;
+
+/// A document body as shared immutable bytes. Cloning a `Body` is a
+/// refcount bump, so a cached document travels cache → response frame →
+/// peer → browser cache without ever being copied (the only copy is the
+/// one `read_message` makes off the socket).
+pub type Body = Arc<[u8]>;
+
+/// An empty [`Body`].
+pub fn empty_body() -> Body {
+    Arc::from(&[][..])
+}
 
 /// A parsed protocol message (request or response).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +75,7 @@ pub struct Message {
     /// Header name/value pairs in order of appearance.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length` was present).
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Message {
@@ -70,7 +84,7 @@ impl Message {
         Message {
             start: start.into(),
             headers: Vec::new(),
-            body: Vec::new(),
+            body: empty_body(),
         }
     }
 
@@ -81,8 +95,10 @@ impl Message {
     }
 
     /// Attaches a body (the `Content-Length` header is added on write).
-    pub fn with_body(mut self, body: Vec<u8>) -> Message {
-        self.body = body;
+    /// Accepts a `Vec<u8>` (converted once) or an existing [`Body`]
+    /// (shared, no copy).
+    pub fn with_body(mut self, body: impl Into<Body>) -> Message {
+        self.body = body.into();
         self
     }
 
@@ -112,16 +128,49 @@ pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
     // One write per frame. Writing head and body separately triggers the
     // Nagle/delayed-ACK interaction on keep-alive connections: the kernel
     // holds the second small write until the peer ACKs the first, and the
-    // peer delays that ACK up to ~40 ms waiting to piggyback it.
-    let frame = encode_message(msg)?;
-    w.write_all(&frame)?;
+    // peer delays that ACK up to ~40 ms waiting to piggyback it. A
+    // vectored write keeps that single-syscall framing without copying the
+    // body into a contiguous frame first (bodies are shared `Arc<[u8]>`).
+    let head = encode_head(msg)?;
+    let body = &msg.body[..];
+    let total = head.len() + body.len();
+    let mut written = 0;
+    while written < total {
+        let n = if written < head.len() {
+            let bufs = [
+                IoSlice::new(&head.as_bytes()[written..]),
+                IoSlice::new(body),
+            ];
+            w.write_vectored(&bufs)?
+        } else {
+            w.write(&body[written - head.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        written += n;
+    }
     w.flush()
 }
 
 /// Serialises a message into one contiguous frame (what [`write_message`]
 /// puts on the wire), applying the same `Content-Length` validation. The
-/// fault injector uses this to truncate or stall frames mid-byte-stream.
+/// fault injector uses this to truncate or stall frames mid-byte-stream;
+/// the hot path uses [`write_message`], which never builds this copy.
 pub fn encode_message(msg: &Message) -> io::Result<Vec<u8>> {
+    let head = encode_head(msg)?;
+    let mut frame = Vec::with_capacity(head.len() + msg.body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(&msg.body);
+    Ok(frame)
+}
+
+/// Serialises the start line and headers (through the terminating blank
+/// line), validating any caller-supplied `Content-Length`.
+fn encode_head(msg: &Message) -> io::Result<String> {
     if let Some(declared) = msg.get("Content-Length") {
         let declared: usize = declared.parse().map_err(|e| {
             io::Error::new(
@@ -151,13 +200,11 @@ pub fn encode_message(msg: &Message) -> io::Result<Vec<u8>> {
         head.push_str("\r\n");
     }
     if msg.get("Content-Length").is_none() {
-        head.push_str(&format!("Content-Length: {}\r\n", msg.body.len()));
+        use std::fmt::Write as _;
+        let _ = write!(head, "Content-Length: {}\r\n", msg.body.len());
     }
     head.push_str("\r\n");
-    let mut frame = Vec::with_capacity(head.len() + msg.body.len());
-    frame.extend_from_slice(head.as_bytes());
-    frame.extend_from_slice(&msg.body);
-    Ok(frame)
+    Ok(head)
 }
 
 /// Reads one message; returns `None` on a cleanly closed connection.
@@ -200,7 +247,7 @@ pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
     let mut msg = Message {
         start,
         headers,
-        body: Vec::new(),
+        body: empty_body(),
     };
     if let Some(len) = msg.get("Content-Length") {
         let len: usize = len
@@ -209,9 +256,11 @@ pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
         if len > MAX_BODY {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
         }
+        // The one unavoidable copy: socket bytes into a fresh allocation,
+        // immediately frozen into a shared `Body`.
         let mut body = vec![0u8; len];
         r.read_exact(&mut body)?;
-        msg.body = body;
+        msg.body = body.into();
     }
     Ok(Some(msg))
 }
@@ -281,7 +330,7 @@ mod tests {
         let back = roundtrip(&msg);
         assert_eq!(response_code(&back), Some(200));
         assert_eq!(back.get("X-Source"), Some("peer"));
-        assert_eq!(back.body, body);
+        assert_eq!(&back.body[..], &body[..]);
         assert_eq!(back.get("Content-Length"), Some("21"));
     }
 
@@ -353,7 +402,7 @@ mod tests {
         let back = read_message(&mut BufReader::new(Cursor::new(buf)))
             .unwrap()
             .unwrap();
-        assert_eq!(back.body, body);
+        assert_eq!(&back.body[..], &body[..]);
     }
 
     /// Regression: a mismatched caller-supplied `Content-Length` is an
@@ -383,9 +432,20 @@ mod tests {
         write_message(&mut buf, &a).unwrap();
         write_message(&mut buf, &b).unwrap();
         let mut r = BufReader::new(Cursor::new(buf));
-        assert_eq!(read_message(&mut r).unwrap().unwrap().body, b"ab");
-        assert_eq!(read_message(&mut r).unwrap().unwrap().body, b"xyz");
+        assert_eq!(&read_message(&mut r).unwrap().unwrap().body[..], b"ab");
+        assert_eq!(&read_message(&mut r).unwrap().unwrap().body[..], b"xyz");
         assert!(read_message(&mut r).unwrap().is_none());
+    }
+
+    /// Attaching an existing `Body` shares it — no copy on the response
+    /// build path.
+    #[test]
+    fn with_body_shares_allocation() {
+        let body: Body = Arc::from(&b"shared bytes"[..]);
+        let msg = response(status::OK, "OK").with_body(Arc::clone(&body));
+        assert!(Arc::ptr_eq(&msg.body, &body));
+        let clone = msg.clone();
+        assert!(Arc::ptr_eq(&clone.body, &body), "clone is a refcount bump");
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{dial_with_deadline, ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
-use crate::protocol::{read_message, response, response_code, status, write_message, Message};
-use crate::store::{BodyCache, CachedDoc};
+use crate::protocol::{
+    read_message, response, response_code, status, write_message, Body, Message,
+};
+use crate::shard::{auto_shards, ShardedCache, StripedIndex, DEFAULT_INDEX_SHARDS};
+use crate::store::CachedDoc;
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
-use baps_index::ExactIndex;
 use baps_trace::{ClientId, DocId, Interner};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -144,11 +146,16 @@ pub struct ProxyStats {
     pub errors: u64,
 }
 
+/// Shared proxy state. Lock discipline (see DESIGN.md): `cache` and
+/// `index` are doc-sharded stripes (one lock per shard); `urls` and
+/// `peers` are read-mostly RwLocks; `relay` and `origin_pool` are brief
+/// bookkeeping mutexes. No lock is ever held across socket I/O, an origin
+/// fetch, or a body copy, and no worker holds two locks at once.
 struct ProxyState {
-    cache: Mutex<BodyCache>,
-    index: Mutex<ExactIndex>,
-    urls: Mutex<Interner>,
-    peers: Mutex<HashMap<u32, SocketAddr>>,
+    cache: ShardedCache,
+    index: StripedIndex,
+    urls: RwLock<Interner>,
+    peers: RwLock<HashMap<u32, SocketAddr>>,
     relay: Mutex<AnonymizingProxy>,
     signer: ProxySigner,
     counters: ProxyCounters,
@@ -186,10 +193,10 @@ impl ProxyServer {
             config.accept_backlog
         };
         let state = Arc::new(ProxyState {
-            cache: Mutex::new(BodyCache::new(config.cache_capacity)),
-            index: Mutex::new(ExactIndex::new()),
-            urls: Mutex::new(Interner::new()),
-            peers: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(config.cache_capacity, auto_shards(config.cache_capacity)),
+            index: StripedIndex::new(DEFAULT_INDEX_SHARDS),
+            urls: RwLock::new(Interner::new()),
+            peers: RwLock::new(HashMap::new()),
             relay: Mutex::new(AnonymizingProxy::new()),
             signer,
             counters: ProxyCounters::default(),
@@ -262,15 +269,22 @@ impl ProxyServer {
         // `lookup_all` excludes the requester, so ask as nobody.
         self.state
             .index
-            .lock()
             .lookup_all(doc, ClientId(u32::MAX))
             .iter()
             .any(|holder| holder.0 == client)
     }
 
-    /// Current browser-index entry count.
+    /// Current browser-index entry count (summed across shards).
     pub fn index_entries(&self) -> u64 {
-        self.state.index.lock().entries()
+        self.state.index.entries()
+    }
+
+    /// Test hook: a shared handle to the proxy-cached body for `url`, if
+    /// cached. Two calls return the *same* allocation (`Arc::ptr_eq`),
+    /// proving a cache hit is a refcount bump, not a copy.
+    pub fn cached_body(&self, url: &str) -> Option<Body> {
+        let doc = doc_id(&self.state, url);
+        self.state.cache.get(doc, url).map(|d| d.body)
     }
 
     /// Client connections currently held open by workers.
@@ -349,11 +363,16 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
 }
 
 fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Option<Message> {
-    let tokens: Vec<String> = msg.tokens().iter().map(|s| s.to_string()).collect();
-    let tokens: Vec<&str> = tokens.iter().map(String::as_str).collect();
-    match tokens.as_slice() {
+    match msg.tokens().as_slice() {
         ["GET", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
+            // Piggybacked eviction notices (processed before the GET so a
+            // re-fetch of a just-evicted document is ordered correctly).
+            if let Some(evicted) = msg.get("Evicted") {
+                for victim in evicted.split(' ').filter(|u| !u.is_empty()) {
+                    handle_invalidate(victim, client, state);
+                }
+            }
             let bypass = msg.get("Bypass-Peers").is_some();
             Some(handle_get(url, client, bypass, state))
         }
@@ -367,7 +386,7 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
             let port: u16 = port.parse().ok()?;
             state
                 .peers
-                .lock()
+                .write()
                 .insert(client, SocketAddr::new(peer_ip, port));
             Some(response(status::OK, "OK"))
         }
@@ -376,8 +395,14 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
     }
 }
 
+/// Interns `url`, taking only the shared read lock on the steady-state
+/// path (every URL after its first sighting). The read→write upgrade race
+/// is benign: `intern` is idempotent, so two writers agree on the id.
 fn doc_id(state: &ProxyState, url: &str) -> DocId {
-    DocId(state.urls.lock().intern(url))
+    if let Some(id) = state.urls.read().get(url) {
+        return DocId(id);
+    }
+    DocId(state.urls.write().intern(url))
 }
 
 fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) -> Message {
@@ -385,18 +410,20 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
     let doc = doc_id(state, url);
     let requester = ClientId(client);
 
-    // 1. Proxy cache.
-    if let Some(cached) = state.cache.lock().get(url).cloned() {
+    // 1. Proxy cache. The hit hands back a shared body handle — the shard
+    // lock is held only for the map lookup, never while the reply frame is
+    // written.
+    if let Some(cached) = state.cache.get(doc, url) {
         state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
         // The client will cache what we send it (it invalidates on evict).
-        state.index.lock().on_store(requester, doc);
+        state.index.on_store(requester, doc);
         return ok_response("proxy", &cached);
     }
 
     // 2. Browser index -> peer browser caches.
     let mut probed_peers = false;
     if !bypass_peers {
-        let candidates = state.index.lock().lookup_all(doc, requester);
+        let candidates = state.index.lookup_all(doc, requester);
         for peer in candidates.into_iter().take(MAX_PEER_PROBES) {
             probed_peers = true;
             if state.config.direct_forward {
@@ -404,14 +431,14 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
                     Ok(txn) => {
                         state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                         state.counters.direct_pushes.fetch_add(1, Ordering::Relaxed);
-                        state.index.lock().on_store(requester, doc);
+                        state.index.on_store(requester, doc);
                         return response(status::OK, "OK")
                             .header("X-Source", "peer-direct")
                             .header("Txn", txn.to_string());
                     }
                     Err(_) => {
                         state.counters.peer_failures.fetch_add(1, Ordering::Relaxed);
-                        state.index.lock().on_evict(peer, doc);
+                        state.index.on_evict(peer, doc);
                     }
                 }
                 continue;
@@ -420,15 +447,15 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
                 Ok(cached) => {
                     state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                     if state.config.cache_peer_hits {
-                        state.cache.lock().insert(url, cached.clone());
+                        state.cache.insert(doc, url, cached.clone());
                     }
-                    state.index.lock().on_store(requester, doc);
+                    state.index.on_store(requester, doc);
                     return ok_response("peer", &cached);
                 }
                 Err(_) => {
                     // The index was stale (or the peer is gone): self-heal.
                     state.counters.peer_failures.fetch_add(1, Ordering::Relaxed);
-                    state.index.lock().on_evict(peer, doc);
+                    state.index.on_evict(peer, doc);
                 }
             }
         }
@@ -452,8 +479,8 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
                 watermark: state.signer.watermark(&body),
                 body,
             };
-            state.cache.lock().insert(url, cached.clone());
-            state.index.lock().on_store(requester, doc);
+            state.cache.insert(doc, url, cached.clone());
+            state.index.on_store(requester, doc);
             ok_response("origin", &cached)
         }
         Err(e) => {
@@ -473,7 +500,7 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
 fn handle_invalidate(url: &str, client: u32, state: &ProxyState) {
     state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
     let doc = doc_id(state, url);
-    state.index.lock().on_evict(ClientId(client), doc);
+    state.index.on_evict(ClientId(client), doc);
 }
 
 /// Reply for the `STATS BAPS/1.0` verb: every [`ProxyCounters`] field as a
@@ -509,13 +536,45 @@ fn stats_response(state: &ProxyState) -> Message {
             c.peer_fallbacks.load(Ordering::Relaxed).to_string(),
         )
         .header("Errors", c.errors.load(Ordering::Relaxed).to_string())
+        .header("Cache-Shards", state.cache.n_shards().to_string())
+        .header("Cache-Bytes", state.cache.used().to_string())
+        .header(
+            "Cache-Shard-Entries",
+            join_counts(state.cache.shard_stats().iter().map(|s| s.entries)),
+        )
+        .header(
+            "Cache-Shard-Bytes",
+            join_counts(state.cache.shard_stats().iter().map(|s| s.bytes)),
+        )
+        .header(
+            "Cache-Lock-Acquires",
+            join_counts(state.cache.shard_stats().iter().map(|s| s.lock_acquires)),
+        )
+        .header("Index-Shards", state.index.n_shards().to_string())
+        .header("Index-Entries", state.index.entries().to_string())
+        .header(
+            "Index-Shard-Entries",
+            join_counts(state.index.shard_stats().iter().map(|s| s.entries)),
+        )
+        .header(
+            "Index-Lock-Acquires",
+            join_counts(state.index.shard_stats().iter().map(|s| s.lock_acquires)),
+        )
 }
 
+/// Formats per-shard counters as a comma-separated list header value.
+fn join_counts(counts: impl Iterator<Item = u64>) -> String {
+    counts.map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Builds a 200 reply sharing the cached body — `with_body` on an existing
+/// [`Body`] is a refcount bump, so no byte of the document is copied
+/// between the cache and the socket.
 fn ok_response(source: &str, doc: &CachedDoc) -> Message {
     response(status::OK, "OK")
         .header("X-Source", source)
         .header("X-Watermark", doc.watermark.to_hex())
-        .with_body(doc.body.clone())
+        .with_body(Arc::clone(&doc.body))
 }
 
 /// Mediated peer fetch: the peer sees only a transaction id and the URL,
@@ -533,7 +592,7 @@ fn fetch_from_peer(
 ) -> Result<CachedDoc, io::Error> {
     let addr = state
         .peers
-        .lock()
+        .read()
         .get(&peer.0)
         .copied()
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer not registered"))?;
@@ -610,13 +669,13 @@ fn order_direct_push(
 ) -> Result<u64, io::Error> {
     let peer_addr = state
         .peers
-        .lock()
+        .read()
         .get(&peer.0)
         .copied()
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "peer not registered"))?;
     let target_addr = state
         .peers
-        .lock()
+        .read()
         .get(&requester.0)
         .copied()
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "requester not registered"))?;
@@ -720,7 +779,7 @@ fn origin_attempt(state: &ProxyState, url: &str) -> io::Result<Message> {
 /// Fetches `url` from the origin with bounded retries: transport failures
 /// and 5xx replies are retried up to `origin_retries` extra times with
 /// backoff; 200 and 404 are authoritative.
-fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginError> {
+fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Body, OriginError> {
     let mut attempts_left = state.config.origin_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
@@ -738,5 +797,24 @@ fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Vec<u8>, OriginErr
         attempts_left -= 1;
         std::thread::sleep(backoff);
         backoff *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hit response shares the cached allocation — the body is never
+    /// copied between the cache and the outgoing frame.
+    #[test]
+    fn ok_response_shares_cached_body() {
+        let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(7));
+        let body: Body = Arc::from(&b"watermarked body"[..]);
+        let cached = CachedDoc {
+            watermark: signer.watermark(&body),
+            body: Arc::clone(&body),
+        };
+        let reply = ok_response("proxy", &cached);
+        assert!(Arc::ptr_eq(&reply.body, &body));
     }
 }

@@ -94,9 +94,13 @@ impl TestBed {
         } else {
             config.proxy_workers
         };
+        // The origin pool must scale alongside: each proxy worker may hold
+        // a pooled keep-alive origin connection, and each of those occupies
+        // an origin worker while open. A fixed-size origin pool deadlocks
+        // fetches behind held-open connections once workers > pool size.
         let origin = OriginServer::start_with_faults(
             store,
-            crate::pool::DEFAULT_WORKERS,
+            workers,
             crate::pool::DEFAULT_BACKLOG,
             config.fault_plan.clone(),
         )?;

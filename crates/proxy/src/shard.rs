@@ -1,0 +1,298 @@
+//! Lock-striped sharded state for the proxy hot path.
+//!
+//! The proxy's two hottest structures — the body cache and the browser
+//! index — are partitioned into N independent shards routed by a
+//! [`DocId`] hash ([`baps_index::shard_of`]), each behind its own mutex.
+//! Two workers handling different documents take different locks and never
+//! contend; a worker holds exactly one shard lock at a time, only for the
+//! in-memory operation, and never across socket I/O (see DESIGN.md's lock
+//! map). Every shard also tallies its lock acquisitions so the `STATS`
+//! verb can report contention spread.
+//!
+//! Sharding the cache splits the byte budget evenly across shards, which
+//! is *not* identical to one global LRU: a pathologically skewed shard can
+//! evict while others have room. [`auto_shards`] therefore scales the
+//! shard count with the configured capacity, so tiny caches (as used by
+//! eviction-order tests) keep a single shard and byte-exact legacy
+//! behaviour, while realistically sized caches get striped.
+
+use crate::store::{BodyCache, CachedDoc};
+use baps_index::{shard_of, ExactIndex, IndexStats};
+use baps_trace::{ClientId, DocId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest per-shard byte budget [`auto_shards`] will carve out.
+pub const MIN_SHARD_CAPACITY: u64 = 32 << 10;
+/// Upper bound on the automatic shard count.
+pub const MAX_SHARDS: usize = 16;
+/// Shard count for the striped browser index. Index shards have no byte
+/// budget to split, so sharding is semantics-preserving at any count and
+/// a fixed stripe width suffices.
+pub const DEFAULT_INDEX_SHARDS: usize = baps_index::DEFAULT_SHARDS;
+
+/// Capacity-adaptive shard count: one shard per [`MIN_SHARD_CAPACITY`]
+/// bytes, between 1 and [`MAX_SHARDS`].
+pub fn auto_shards(capacity: u64) -> usize {
+    ((capacity / MIN_SHARD_CAPACITY) as usize).clamp(1, MAX_SHARDS)
+}
+
+/// Occupancy/contention snapshot of one shard (cache or index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries held by the shard.
+    pub entries: u64,
+    /// Body bytes held (cache shards; zero for index shards).
+    pub bytes: u64,
+    /// Times the shard's lock has been acquired.
+    pub lock_acquires: u64,
+}
+
+struct CacheShard {
+    cache: Mutex<BodyCache>,
+    lock_acquires: AtomicU64,
+}
+
+/// A [`BodyCache`] striped into doc-hashed shards, each behind its own
+/// lock. The byte budget is split evenly across shards.
+pub struct ShardedCache {
+    shards: Vec<CacheShard>,
+}
+
+impl ShardedCache {
+    /// Creates a cache of `n_shards` shards splitting `capacity` bytes
+    /// (the first shards absorb any remainder byte).
+    pub fn new(capacity: u64, n_shards: usize) -> Self {
+        let n = n_shards.max(1) as u64;
+        let shards = (0..n)
+            .map(|i| {
+                let share = capacity / n + u64::from(i < capacity % n);
+                CacheShard {
+                    cache: Mutex::new(BodyCache::new(share)),
+                    lock_acquires: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        ShardedCache { shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, doc: DocId) -> &CacheShard {
+        let s = &self.shards[shard_of(doc, self.shards.len())];
+        s.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        s
+    }
+
+    /// Looks up `url`, promoting it on a hit. The returned [`CachedDoc`]
+    /// shares the cached body (refcount bump, no copy) — the shard lock is
+    /// released before the caller touches the bytes.
+    pub fn get(&self, doc: DocId, url: &str) -> Option<CachedDoc> {
+        self.shard(doc).cache.lock().get(url).cloned()
+    }
+
+    /// Inserts a document; returns the URLs evicted from its shard.
+    pub fn insert(&self, doc: DocId, url: &str, entry: CachedDoc) -> Vec<String> {
+        self.shard(doc).cache.lock().insert(url, entry)
+    }
+
+    /// Removes `url`; returns whether it was cached.
+    pub fn remove(&self, doc: DocId, url: &str) -> bool {
+        self.shard(doc).cache.lock().remove(url)
+    }
+
+    /// Whether `url` is cached (no promotion).
+    pub fn contains(&self, doc: DocId, url: &str) -> bool {
+        self.shard(doc).cache.lock().contains(url)
+    }
+
+    /// Total body bytes across shards.
+    pub fn used(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.lock().used()).sum()
+    }
+
+    /// Total cached documents across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard occupancy and lock-contention report (for `STATS`).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cache = s.cache.lock();
+                ShardStats {
+                    entries: cache.len() as u64,
+                    bytes: cache.used(),
+                    lock_acquires: s.lock_acquires.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+struct IndexShard {
+    index: Mutex<ExactIndex>,
+    lock_acquires: AtomicU64,
+}
+
+/// An [`ExactIndex`] striped into doc-hashed shards, each behind its own
+/// lock — the concurrent counterpart of [`baps_index::ShardedIndex`]
+/// (whose property tests prove the sharding preserves exact semantics).
+pub struct StripedIndex {
+    shards: Vec<IndexShard>,
+}
+
+impl StripedIndex {
+    /// Creates an empty index with `n_shards` shards (at least one).
+    pub fn new(n_shards: usize) -> Self {
+        StripedIndex {
+            shards: (0..n_shards.max(1))
+                .map(|_| IndexShard {
+                    index: Mutex::new(ExactIndex::new()),
+                    lock_acquires: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, doc: DocId) -> &IndexShard {
+        let s = &self.shards[shard_of(doc, self.shards.len())];
+        s.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        s
+    }
+
+    /// Records that `client` now caches `doc`.
+    pub fn on_store(&self, client: ClientId, doc: DocId) {
+        self.shard(doc).index.lock().on_store(client, doc);
+    }
+
+    /// Records that `client` evicted `doc`.
+    pub fn on_evict(&self, client: ClientId, doc: DocId) {
+        self.shard(doc).index.lock().on_evict(client, doc);
+    }
+
+    /// All holders of `doc` other than `exclude`, most recent first.
+    pub fn lookup_all(&self, doc: DocId, exclude: ClientId) -> Vec<ClientId> {
+        self.shard(doc).index.lock().lookup_all(doc, exclude)
+    }
+
+    /// Total (client, doc) entries across shards.
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.index.lock().entries()).sum()
+    }
+
+    /// Access statistics merged across shards.
+    pub fn stats(&self) -> IndexStats {
+        let mut out = IndexStats::default();
+        for s in &self.shards {
+            out.merge(&s.index.lock().stats());
+        }
+        out
+    }
+
+    /// Per-shard occupancy and lock-contention report (for `STATS`).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                entries: s.index.lock().entries(),
+                bytes: 0,
+                lock_acquires: s.lock_acquires.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baps_crypto::ProxySigner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn doc(body: &[u8]) -> CachedDoc {
+        let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(1));
+        CachedDoc {
+            body: body.into(),
+            watermark: signer.watermark(body),
+        }
+    }
+
+    #[test]
+    fn auto_shards_scales_with_capacity() {
+        assert_eq!(auto_shards(0), 1);
+        assert_eq!(auto_shards(2_500), 1);
+        assert_eq!(auto_shards(MIN_SHARD_CAPACITY), 1);
+        assert_eq!(auto_shards(4 * MIN_SHARD_CAPACITY), 4);
+        assert_eq!(auto_shards(u64::MAX), MAX_SHARDS);
+    }
+
+    #[test]
+    fn sharded_cache_roundtrip_and_stats() {
+        let c = ShardedCache::new(64 << 10, 4);
+        let d = doc(b"hello shard");
+        assert!(c.insert(DocId(7), "u7", d.clone()).is_empty());
+        assert!(c.contains(DocId(7), "u7"));
+        let hit = c.get(DocId(7), "u7").unwrap();
+        assert!(Arc::ptr_eq(&hit.body, &d.body), "hit shares the body");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 11);
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.bytes).sum::<u64>(), 11);
+        assert!(stats.iter().map(|s| s.lock_acquires).sum::<u64>() >= 3);
+        assert!(c.remove(DocId(7), "u7"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn striped_index_matches_exact() {
+        let striped = StripedIndex::new(8);
+        let mut exact = ExactIndex::new();
+        for i in 0..200u32 {
+            striped.on_store(ClientId(i % 6), DocId(i % 31));
+            exact.on_store(ClientId(i % 6), DocId(i % 31));
+        }
+        for i in 0..40u32 {
+            striped.on_evict(ClientId(i % 6), DocId(i % 31));
+            exact.on_evict(ClientId(i % 6), DocId(i % 31));
+        }
+        assert_eq!(striped.entries(), exact.entries());
+        for d in 0..31u32 {
+            assert_eq!(
+                striped.lookup_all(DocId(d), ClientId(99)),
+                exact.lookup_all(DocId(d), ClientId(99))
+            );
+        }
+        assert_eq!(striped.stats(), exact.stats());
+        let shard_sum: u64 = striped.shard_stats().iter().map(|s| s.entries).sum();
+        assert_eq!(shard_sum, exact.entries());
+    }
+
+    #[test]
+    fn lock_tallies_accumulate() {
+        let idx = StripedIndex::new(2);
+        for i in 0..10u32 {
+            idx.on_store(ClientId(0), DocId(i));
+        }
+        let total: u64 = idx.shard_stats().iter().map(|s| s.lock_acquires).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,6 +1,7 @@
 //! Document bodies: the origin's corpus and the byte-budgeted body caches
 //! used by the live proxy and client agents.
 
+use crate::protocol::Body;
 use baps_cache::ByteLru;
 use baps_crypto::Watermark;
 use baps_trace::Interner;
@@ -8,10 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// The origin server's document corpus.
+/// The origin server's document corpus. Bodies are shared [`Body`] values
+/// so serving a document is a refcount bump, not a copy.
 #[derive(Debug, Clone, Default)]
 pub struct DocumentStore {
-    docs: HashMap<String, Vec<u8>>,
+    docs: HashMap<String, Body>,
 }
 
 impl DocumentStore {
@@ -21,20 +23,25 @@ impl DocumentStore {
     }
 
     /// Inserts a document.
-    pub fn insert(&mut self, url: impl Into<String>, body: Vec<u8>) {
-        self.docs.insert(url.into(), body);
+    pub fn insert(&mut self, url: impl Into<String>, body: impl Into<Body>) {
+        self.docs.insert(url.into(), body.into());
     }
 
     /// Fetches a document body.
     pub fn get(&self, url: &str) -> Option<&[u8]> {
-        self.docs.get(url).map(Vec::as_slice)
+        self.docs.get(url).map(|b| &b[..])
+    }
+
+    /// Fetches a document body as a shared handle (no copy).
+    pub fn get_shared(&self, url: &str) -> Option<Body> {
+        self.docs.get(url).cloned()
     }
 
     /// Mutates a document in place (tests document-change behaviour).
-    pub fn mutate(&mut self, url: &str, body: Vec<u8>) -> bool {
+    pub fn mutate(&mut self, url: &str, body: impl Into<Body>) -> bool {
         match self.docs.get_mut(url) {
             Some(slot) => {
-                *slot = body;
+                *slot = body.into();
                 true
             }
             None => false,
@@ -74,10 +81,11 @@ impl DocumentStore {
 }
 
 /// A cached document: its body plus the proxy-issued integrity watermark.
+/// Cloning shares the body (refcount bump).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedDoc {
-    /// Document body.
-    pub body: Vec<u8>,
+    /// Document body (shared, immutable).
+    pub body: Body,
     /// §6.1 digital watermark.
     pub watermark: Watermark,
 }
@@ -177,7 +185,7 @@ mod tests {
 
     fn doc(signer: &ProxySigner, body: &[u8]) -> CachedDoc {
         CachedDoc {
-            body: body.to_vec(),
+            body: body.into(),
             watermark: signer.watermark(body),
         }
     }
@@ -220,6 +228,25 @@ mod tests {
         assert!(c.get("http://a").is_none());
     }
 
+    /// A cache hit hands back the same allocation that was inserted —
+    /// cloning the `CachedDoc` bumps a refcount instead of copying bytes.
+    #[test]
+    fn cache_hit_shares_body_no_copy() {
+        use std::sync::Arc;
+        let sg = signer();
+        let mut c = BodyCache::new(1000);
+        let body: Body = Arc::from(&b"zero copy body"[..]);
+        let d = CachedDoc {
+            body: Arc::clone(&body),
+            watermark: sg.watermark(&body),
+        };
+        c.insert("u", d);
+        let hit = c.get("u").unwrap().clone();
+        assert!(Arc::ptr_eq(&hit.body, &body));
+        let again = c.get("u").unwrap().clone();
+        assert!(Arc::ptr_eq(&again.body, &hit.body));
+    }
+
     #[test]
     fn body_cache_evicts_lru_and_reports_urls() {
         let sg = signer();
@@ -249,7 +276,7 @@ mod tests {
         let mut c = BodyCache::new(100);
         c.insert("u", doc(&sg, b"old"));
         c.insert("u", doc(&sg, b"newer body"));
-        assert_eq!(c.get("u").unwrap().body, b"newer body");
+        assert_eq!(&c.get("u").unwrap().body[..], b"newer body");
         assert_eq!(c.len(), 1);
         assert_eq!(c.used(), 10);
     }

@@ -34,5 +34,5 @@ pub use latency::{LanBus, LatencyModel, LatencyTotals};
 pub use metrics::{ClassCounter, Metrics};
 pub use report::{human_bytes, pct, Table};
 pub use scaling::{run_scaling, select_clients, ScalingPoint, CLIENT_SCALE_POINTS};
-pub use sweep::{run_sweep, scale_configs, PROXY_SCALE_POINTS};
+pub use sweep::{run_matrix, run_sweep, scale_configs, MatrixGroup, PROXY_SCALE_POINTS};
 pub use system::SimSystem;

@@ -6,6 +6,7 @@
 //! faster. This is how every multi-point figure in the paper is produced.
 
 use crate::engine::{run, RunResult};
+use crate::latency::LatencyTotals;
 use baps_core::{LatencyParams, SystemConfig};
 use baps_trace::{Trace, TraceStats};
 
@@ -53,6 +54,93 @@ pub fn run_sweep(
         .into_iter()
         .map(|r| r.expect("every config produced a result"))
         .collect()
+}
+
+/// One independent unit of matrix work: a trace (with precomputed stats)
+/// and the configurations to replay against it.
+///
+/// Borrowed rather than owned so callers can share one generated trace
+/// across several config lists without cloning multi-million-request
+/// vectors.
+#[derive(Clone, Copy)]
+pub struct MatrixGroup<'a> {
+    /// The request trace to replay.
+    pub trace: &'a Trace,
+    /// Its precomputed statistics.
+    pub stats: &'a TraceStats,
+    /// Configurations to run against this trace.
+    pub configs: &'a [SystemConfig],
+    /// Latency model parameters.
+    pub latency: &'a LatencyParams,
+}
+
+/// Runs every (group, config) pair of a profile×config matrix across one
+/// shared scoped worker pool.
+///
+/// Unlike calling [`run_sweep`] per group — which leaves workers idle at
+/// each group boundary — all pairs feed a single work queue, so a slow
+/// group's tail overlaps the next group's work. Each replay is
+/// independent and deterministic, and results are reassembled in input
+/// order, so the output (and the merged grand total, accumulated via
+/// [`LatencyTotals::merge`] in input order) is byte-identical to running
+/// the groups sequentially.
+pub fn run_matrix(groups: &[MatrixGroup<'_>]) -> (Vec<Vec<RunResult>>, LatencyTotals) {
+    let n_jobs: usize = groups.iter().map(|g| g.configs.len()).sum();
+    // Flat job list: (group index, config index), in input order.
+    let jobs: Vec<(usize, usize)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| (0..g.configs.len()).map(move |ci| (gi, ci)))
+        .collect();
+
+    let threads = available_threads().min(n_jobs.max(1));
+    let mut results: Vec<Vec<Option<RunResult>>> =
+        groups.iter().map(|g| vec![None; g.configs.len()]).collect();
+    if threads <= 1 || n_jobs <= 1 {
+        for &(gi, ci) in &jobs {
+            let g = &groups[gi];
+            results[gi][ci] = Some(run(g.trace, g.stats, &g.configs[ci], g.latency));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, usize, RunResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (next, jobs) = (&next, &jobs);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(gi, ci)) = jobs.get(i) else { break };
+                    let g = &groups[gi];
+                    let result = run(g.trace, g.stats, &g.configs[ci], g.latency);
+                    tx.send((gi, ci, result)).expect("coordinator alive");
+                });
+            }
+        });
+        drop(tx);
+        for (gi, ci, r) in rx {
+            results[gi][ci] = Some(r);
+        }
+    }
+
+    let results: Vec<Vec<RunResult>> = results
+        .into_iter()
+        .map(|group| {
+            group
+                .into_iter()
+                .map(|r| r.expect("every job produced a result"))
+                .collect()
+        })
+        .collect();
+    // Grand total merged in input order: float addition is order-sensitive,
+    // so a fixed merge order keeps the total identical run to run.
+    let mut grand = LatencyTotals::default();
+    for group in &results {
+        for r in group {
+            grand.merge(&r.latency);
+        }
+    }
+    (results, grand)
 }
 
 /// Number of worker threads to use (leaves a core for the coordinator).
@@ -131,6 +219,62 @@ mod tests {
         let configs = scale_configs(&base, 1_000_000, &[0.01, 0.10]);
         assert_eq!(configs[0].proxy_capacity, 10_000);
         assert_eq!(configs[1].proxy_capacity, 100_000);
+    }
+
+    #[test]
+    fn matrix_matches_sequential_exactly() {
+        // Two "profiles" (different seeds) × different config lists: the
+        // pooled matrix must reproduce the sequential per-group sweeps
+        // byte for byte, and the grand total must equal merging every
+        // run's totals in input order.
+        let trace_a = SynthConfig::small().scaled(0.1).generate(4);
+        let trace_b = SynthConfig::small().scaled(0.15).generate(9);
+        let stats_a = TraceStats::compute(&trace_a);
+        let stats_b = TraceStats::compute(&trace_b);
+        let latency = LatencyParams::paper();
+        let configs_a: Vec<SystemConfig> = Organization::all()
+            .iter()
+            .map(|&org| SystemConfig::paper_default(org, 1 << 19))
+            .collect();
+        let base = SystemConfig::paper_default(Organization::BrowsersAware, 0);
+        let configs_b = scale_configs(&base, stats_b.infinite_cache_bytes, &[0.01, 0.10]);
+
+        let groups = [
+            MatrixGroup {
+                trace: &trace_a,
+                stats: &stats_a,
+                configs: &configs_a,
+                latency: &latency,
+            },
+            MatrixGroup {
+                trace: &trace_b,
+                stats: &stats_b,
+                configs: &configs_b,
+                latency: &latency,
+            },
+        ];
+        let (matrix, grand) = run_matrix(&groups);
+
+        assert_eq!(matrix.len(), 2);
+        let mut expected_grand = LatencyTotals::default();
+        for (group, rows) in groups.iter().zip(&matrix) {
+            assert_eq!(rows.len(), group.configs.len());
+            for (cfg, r) in group.configs.iter().zip(rows) {
+                let serial = run(group.trace, group.stats, cfg, group.latency);
+                assert_eq!(serial.metrics, r.metrics);
+                assert_eq!(serial.latency, r.latency);
+                expected_grand.merge(&r.latency);
+            }
+        }
+        assert_eq!(grand, expected_grand);
+        assert!(grand.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        let (matrix, grand) = run_matrix(&[]);
+        assert!(matrix.is_empty());
+        assert_eq!(grand, LatencyTotals::default());
     }
 
     #[test]

@@ -22,4 +22,14 @@ echo "== chaos soak (fixed seed)"
 # on any invariant violation.
 cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
 
+echo "== live_load thread-scaling sweep (non-gating perf smoke)"
+# Scaled-down sweep to catch serialization collapses (a global lock or an
+# undersized downstream pool shows up as a multiple, not a percentage).
+# Non-gating: loopback throughput on shared CI hosts is too noisy to fail
+# the build on, so the curve is printed for eyeballing and the canonical
+# numbers live in the committed BENCH_live.json.
+cargo run --release -q -p baps-bench --bin live_load -- \
+    --sweep --out target/BENCH_live.ci.json 4000 64 \
+    || echo "perf smoke failed (non-gating)"
+
 echo "CI OK"
