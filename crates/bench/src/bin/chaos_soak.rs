@@ -22,8 +22,9 @@
 //!    identical per-kind fault counts and observe identical per-source
 //!    outcome tallies.
 //!
-//! On any violation the binary prints a reproduction command and exits
-//! nonzero.
+//! On any violation the binary dumps the deployment's flight-recorder
+//! ring (the last ~8k span events before the violation, trace ids
+//! included), prints a reproduction command, and exits nonzero.
 //!
 //! Usage:
 //!
@@ -33,6 +34,7 @@
 //!     [--intensity F] [--direct] [--once]
 //! ```
 
+use baps_obs::{EventKind, TraceId};
 use baps_proxy::fault::FaultKind;
 use baps_proxy::{
     DocumentStore, FaultConfig, FaultCounts, FaultPlan, ProxyError, Source, TestBed, TestBedConfig,
@@ -115,6 +117,18 @@ struct SoakReport {
     proxy_errors: u64,
     wall: Duration,
     violations: Vec<String>,
+    /// The flight-recorder ring, rendered at the moment a violated run
+    /// finished (`None` when the run was clean).
+    recorder_dump: Option<String>,
+}
+
+/// Records a violation both in the driver's list and as an always-on
+/// `VIOLATION` event in the flight-recorder ring, so the dump shows where
+/// in the event stream the invariant broke.
+fn violate(bed: &TestBed, violations: &mut Vec<String>, msg: String) {
+    bed.recorder
+        .note(TraceId::NONE, EventKind::Violation, msg.clone());
+    violations.push(msg);
 }
 
 fn run_soak(args: SoakArgs) -> SoakReport {
@@ -174,20 +188,26 @@ fn run_soak(args: SoakArgs) -> SoakReport {
         let result = client.fetch(&url);
         let dt = t.elapsed();
         if dt > FETCH_DEADLINE {
-            violations.push(format!(
-                "request {r}: fetch of {url} took {dt:?} (> {FETCH_DEADLINE:?})"
-            ));
+            violate(
+                &bed,
+                &mut violations,
+                format!("request {r}: fetch of {url} took {dt:?} (> {FETCH_DEADLINE:?})"),
+            );
         }
         match result {
             Ok(res) => {
                 if res.body[..] != expected[&url][..] {
-                    violations.push(format!(
-                        "request {r}: WRONG BYTES for {url} from {:?} \
-                         ({} bytes, expected {})",
-                        res.source,
-                        res.body.len(),
-                        expected[&url].len()
-                    ));
+                    violate(
+                        &bed,
+                        &mut violations,
+                        format!(
+                            "request {r}: WRONG BYTES for {url} from {:?} \
+                             ({} bytes, expected {})",
+                            res.source,
+                            res.body.len(),
+                            expected[&url].len()
+                        ),
+                    );
                 }
                 match res.source {
                     Source::LocalBrowser => tally.local += 1,
@@ -205,9 +225,11 @@ fn run_soak(args: SoakArgs) -> SoakReport {
                     ProxyError::Io(_) | ProxyError::Timeout | ProxyError::Unavailable(_) => {
                         tally.failed += 1;
                     }
-                    other => violations.push(format!(
-                        "request {r}: unacceptable error for {url}: {other}"
-                    )),
+                    other => violate(
+                        &bed,
+                        &mut violations,
+                        format!("request {r}: unacceptable error for {url}: {other}"),
+                    ),
                 }
             }
         }
@@ -216,28 +238,45 @@ fn run_soak(args: SoakArgs) -> SoakReport {
 
     let stats = bed.proxy.stats();
     if stats.requests != stats.proxy_hits + stats.peer_hits + stats.origin_fetches + stats.errors {
-        violations.push(format!(
-            "proxy counter imbalance: requests {} != proxy_hits {} + peer_hits {} \
-             + origin_fetches {} + errors {}",
-            stats.requests, stats.proxy_hits, stats.peer_hits, stats.origin_fetches, stats.errors
-        ));
+        violate(
+            &bed,
+            &mut violations,
+            format!(
+                "proxy counter imbalance: requests {} != proxy_hits {} + peer_hits {} \
+                 + origin_fetches {} + errors {}",
+                stats.requests,
+                stats.proxy_hits,
+                stats.peer_hits,
+                stats.origin_fetches,
+                stats.errors
+            ),
+        );
     }
     if tally.successes() + tally.failed != args.requests {
-        violations.push(format!(
-            "driver tally imbalance: {} successes + {} failures != {} requests",
-            tally.successes(),
-            tally.failed,
-            args.requests
-        ));
+        violate(
+            &bed,
+            &mut violations,
+            format!(
+                "driver tally imbalance: {} successes + {} failures != {} requests",
+                tally.successes(),
+                tally.failed,
+                args.requests
+            ),
+        );
     }
     // Generous wall budget: average 50 ms per request plus a fixed floor.
     // A deadlock or unbounded retry loop blows well past this.
     let budget = Duration::from_millis(60_000 + 50 * args.requests);
     if wall > budget {
-        violations.push(format!("wall clock {wall:?} exceeded budget {budget:?}"));
+        violate(
+            &bed,
+            &mut violations,
+            format!("wall clock {wall:?} exceeded budget {budget:?}"),
+        );
     }
 
     let faults = plan.counts();
+    let recorder_dump = (!violations.is_empty()).then(|| bed.recorder.render());
     bed.shutdown();
     SoakReport {
         tally,
@@ -250,6 +289,7 @@ fn run_soak(args: SoakArgs) -> SoakReport {
         proxy_errors: stats.errors,
         wall,
         violations,
+        recorder_dump,
     }
 }
 
@@ -317,7 +357,13 @@ fn parse_args() -> SoakArgs {
     out
 }
 
-fn fail(args: SoakArgs, violations: &[String]) -> ! {
+fn fail(args: SoakArgs, violations: &[String], recorder_dump: Option<&str>) -> ! {
+    if let Some(dump) = recorder_dump {
+        // The ring holds the spans (with trace ids) leading up to the
+        // violation — the VIOLATION events themselves are interleaved at
+        // the positions where each invariant broke.
+        eprintln!("{dump}");
+    }
     for v in violations {
         eprintln!("VIOLATION: {v}");
     }
@@ -335,7 +381,7 @@ fn main() {
     let first = run_soak(args);
     print_report("run 1", args, &first);
     if !first.violations.is_empty() {
-        fail(args, &first.violations);
+        fail(args, &first.violations, first.recorder_dump.as_deref());
     }
 
     if !args.once {
@@ -343,7 +389,7 @@ fn main() {
         println!();
         print_report("run 2", args, &second);
         if !second.violations.is_empty() {
-            fail(args, &second.violations);
+            fail(args, &second.violations, second.recorder_dump.as_deref());
         }
         let mut determinism = Vec::new();
         for kind in FaultKind::ALL {
@@ -363,7 +409,9 @@ fn main() {
             ));
         }
         if !determinism.is_empty() {
-            fail(args, &determinism);
+            // Determinism compares the two completed runs; neither ring is
+            // more relevant, so dump the fresher one.
+            fail(args, &determinism, second.recorder_dump.as_deref());
         }
         println!("\ndeterminism: per-fault counts and outcome tallies identical across runs");
     }

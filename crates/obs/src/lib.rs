@@ -1,0 +1,49 @@
+//! # baps-obs — observability for the live BAPS runtime
+//!
+//! One small crate shared by the proxy, the client agents, the origin
+//! server, the offline simulator and the benchmark binaries, so every
+//! component reports latency the same way:
+//!
+//! * [`LatencyHistogram`] — the fixed-bucket log-scale histogram (moved
+//!   here from `baps-sim`, which now re-exports it), for single-threaded
+//!   recording and for snapshots/merges;
+//! * [`AtomicHistogram`] — the same bucket layout with lock-free
+//!   `AtomicU64` buckets, for always-on recording inside servers;
+//! * [`TraceId`] — per-request ids minted by the client and propagated in
+//!   the `Trace-Id` header across every hop;
+//! * [`FlightRecorder`] — a bounded ring of structured span events,
+//!   dumped on demand and automatically when a chaos/live invariant trips;
+//! * [`prom`] — Prometheus text exposition rendering (and a parser for
+//!   the CI smoke test), backing the `METRICS BAPS/1.0` verb.
+//!
+//! Recording is **always on**; [`set_recording`] exists solely so the
+//! overhead benchmark can measure the cost of the instrumentation by
+//! differencing a recording-off run against the default.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod recorder;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, LabeledHistograms, LatencyHistogram, Tier, TIER_NAMES};
+pub use recorder::{Event, EventKind, FlightRecorder};
+pub use trace::TraceId;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global recording switch, defaulting to on. Only the overhead benchmark
+/// turns it off (to measure the cost of recording itself); production and
+/// test paths never touch it.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables event/histogram recording process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Release);
+}
+
+/// Whether recording is currently enabled.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Acquire)
+}

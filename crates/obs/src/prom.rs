@@ -1,0 +1,318 @@
+//! Prometheus text exposition: rendering (for the `METRICS BAPS/1.0`
+//! verb) and a small parser (for the CI metrics smoke test).
+//!
+//! The renderer emits the classic text format: `# HELP` / `# TYPE`
+//! comments, then `name{label="value",…} value` samples. Histograms
+//! follow the cumulative-bucket convention — `name_bucket{le="edge"}`
+//! counts observations ≤ edge, ending with `le="+Inf"`, plus `name_sum`
+//! and `name_count`. Empty buckets are skipped (the cumulative counts
+//! stay correct; scrapers interpolate between the edges that do appear),
+//! which keeps a 164-bucket histogram to a handful of lines in practice.
+//!
+//! The in-tree serde shim has no derive support, so this is hand-rolled —
+//! which is also what keeps it dependency-free.
+
+use crate::hist::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Builder for a Prometheus text exposition.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// Formats a float the exposition way (`+Inf` for infinity, shortest
+/// round-trip digits otherwise).
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` preamble for a metric family. Call
+    /// once per family, before its samples.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = write!(self.out, "{k}=\"{escaped}\"");
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// Header plus a single unlabelled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Header plus a single unlabelled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, "gauge", help);
+        self.sample(name, &[], value);
+    }
+
+    /// Emits one histogram series (cumulative `_bucket` lines, `_sum`,
+    /// `_count`) under `name` with the given extra labels. Emit the
+    /// family [`header`](PromText::header) (kind `histogram`) once before
+    /// the first series of the family.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &LatencyHistogram) {
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (upper, count) in h.buckets() {
+            cumulative += count;
+            if upper.is_infinite() {
+                // The overflow bucket is covered by the trailing +Inf line.
+                continue;
+            }
+            let le = fmt_value(upper);
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket, &with_le, cumulative as f64);
+        }
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket, &with_le, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum_ms());
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (`baps_requests_total`, `…_bucket`, …).
+    pub name: String,
+    /// Label pairs in order of appearance.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`-aware).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text exposition into its samples, validating line syntax.
+/// Comment lines must be well-formed `# HELP` / `# TYPE` lines; sample
+/// lines must be `name[{labels}] value`.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |what: &str| Err(format!("line {}: {what}: {raw:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match words.next() {
+                Some("HELP") | Some("TYPE") if words.next().is_some() => continue,
+                _ => return err("malformed comment"),
+            }
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return err("no value"),
+        };
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => match v.parse() {
+                Ok(v) => v,
+                Err(_) => return err("bad value"),
+            },
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let Some(body) = rest.strip_suffix('}') else {
+                    return err("unterminated label set");
+                };
+                let mut labels = Vec::new();
+                for pair in split_label_pairs(body) {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return err("label without '='");
+                    };
+                    let v = v.trim();
+                    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+                        return err("unquoted label value");
+                    }
+                    let unescaped = v[1..v.len() - 1]
+                        .replace("\\\"", "\"")
+                        .replace("\\\\", "\\");
+                    labels.push((k.trim().to_string(), unescaped));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return err("bad metric name");
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Splits `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let (mut start, mut in_quotes, mut escaped) = (0, false, false);
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        pairs.push(&body[start..]);
+    }
+    pairs
+}
+
+/// The value of the first sample matching `name` and all of `labels`
+/// (extra labels on the sample are allowed).
+pub fn find(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && labels.iter().all(|&(k, v)| s.label(k) == Some(v)))
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let mut h = LatencyHistogram::new();
+        for ms in [0.5, 0.5, 2.0, 40.0] {
+            h.record(ms);
+        }
+        let mut text = PromText::new();
+        text.counter("baps_requests_total", "GET requests handled.", 4);
+        text.gauge("baps_cache_bytes", "Bytes cached.", 1234.0);
+        text.header("baps_request_latency_ms", "histogram", "Serve latency.");
+        text.histogram("baps_request_latency_ms", &[("tier", "proxy")], &h);
+        let rendered = text.finish();
+
+        let samples = parse(&rendered).expect("parses");
+        assert_eq!(find(&samples, "baps_requests_total", &[]), Some(4.0));
+        assert_eq!(find(&samples, "baps_cache_bytes", &[]), Some(1234.0));
+        assert_eq!(
+            find(
+                &samples,
+                "baps_request_latency_ms_count",
+                &[("tier", "proxy")]
+            ),
+            Some(4.0)
+        );
+        assert_eq!(
+            find(
+                &samples,
+                "baps_request_latency_ms_bucket",
+                &[("tier", "proxy"), ("le", "+Inf")]
+            ),
+            Some(4.0)
+        );
+        let sum = find(
+            &samples,
+            "baps_request_latency_ms_sum",
+            &[("tier", "proxy")],
+        )
+        .unwrap();
+        assert!((sum - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=200 {
+            h.record(i as f64 * 0.7);
+        }
+        let mut text = PromText::new();
+        text.header("m", "histogram", "h");
+        text.histogram("m", &[], &h);
+        let samples = parse(&text.finish()).unwrap();
+        let buckets: Vec<&Sample> = samples.iter().filter(|s| s.name == "m_bucket").collect();
+        assert!(buckets.len() >= 3);
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = 0.0;
+        for b in &buckets {
+            let le = match b.label("le").unwrap() {
+                "+Inf" => f64::INFINITY,
+                v => v.parse().unwrap(),
+            };
+            assert!(le > prev_le, "le edges must increase");
+            assert!(b.value >= prev_count, "cumulative counts must not drop");
+            prev_le = le;
+            prev_count = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().value, 200.0);
+        assert_eq!(find(&samples, "m_count", &[]), Some(200.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("no_value_here").is_err());
+        assert!(parse("name{unclosed=\"x\" 3").is_err());
+        assert!(parse("name{k=unquoted} 3").is_err());
+        assert!(parse("# BOGUS comment").is_err());
+        assert!(parse("bad name 3").is_err());
+        assert!(parse("name nan-ish").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_infinities() {
+        let samples = parse("m{u=\"a\\\"b\\\\c\",le=\"+Inf\"} +Inf\n").unwrap();
+        assert_eq!(samples[0].label("u"), Some("a\"b\\c"));
+        assert_eq!(samples[0].label("le"), Some("+Inf"));
+        assert!(samples[0].value.is_infinite());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the histogram invariants the METRICS pipeline
+//! leans on: merging distributed recordings is lossless, and quantile
+//! estimates stay monotone and inside the documented bucket error bound.
+//!
+//! The recording-switch test lives here too (not in `hist.rs` unit tests)
+//! because it flips process-global state: this file's proptests only use
+//! the ungated `LatencyHistogram`, so the switch can't race them.
+
+use baps_obs::hist::{LatencyHistogram, BUCKETS_PER_DECADE};
+use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, TraceId};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Latency samples in ms, kept inside the histogram's exact range (above
+/// the underflow clamp, below the overflow bucket) so the error bound is
+/// the per-bucket one, not a clamp artifact.
+fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-3f64..1e4, 1..400)
+}
+
+/// One bucket spans this factor; a quantile estimate (the lower edge of
+/// the rank's bucket) is below the true sample by at most this ratio.
+fn bucket_width() -> f64 {
+    10f64.powf(1.0 / BUCKETS_PER_DECADE)
+}
+
+proptest! {
+    /// Recording shards separately and merging is indistinguishable from
+    /// recording everything into one histogram — the property that lets
+    /// live_load merge per-worker histograms and the proxy merge
+    /// per-shard cache stats without skewing the tails.
+    #[test]
+    fn merge_equals_single_recording(samples in samples_strategy(), split in 0usize..400) {
+        let split = split.min(samples.len());
+        let mut whole = LatencyHistogram::new();
+        let (mut left, mut right) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for (i, &ms) in samples.iter().enumerate() {
+            whole.record(ms);
+            if i < split { &mut left } else { &mut right }.record(ms);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.max_ms(), whole.max_ms());
+        prop_assert!((left.sum_ms() - whole.sum_ms()).abs() < 1e-6 * whole.sum_ms().max(1.0));
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(left.quantile_ms(q), whole.quantile_ms(q));
+        }
+        let a: Vec<(f64, u64)> = left.buckets().collect();
+        let b: Vec<(f64, u64)> = whole.buckets().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Quantiles never decrease as `q` grows, and each estimate brackets
+    /// the true order statistic: at most the sample itself, at least the
+    /// sample divided by one bucket width (~13.7% relative error).
+    #[test]
+    fn quantiles_monotone_and_within_bucket_error(samples in samples_strategy()) {
+        let mut h = LatencyHistogram::new();
+        for &ms in &samples {
+            h.record(ms);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let width = bucket_width();
+        let mut prev = 0.0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile_ms(q);
+            prop_assert!(est >= prev, "quantile_ms({q}) regressed: {est} < {prev}");
+            prev = est;
+            let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+            let truth = sorted[rank - 1];
+            prop_assert!(est <= truth * (1.0 + 1e-9),
+                "q{q}: estimate {est} above true sample {truth}");
+            prop_assert!(est * width >= truth * (1.0 - 1e-9),
+                "q{q}: estimate {est} more than one bucket below {truth}");
+        }
+    }
+}
+
+/// Flipping the global switch silences the gated recorders (histograms
+/// and flight-recorder events) and re-enabling restores them — the
+/// mechanism the overhead A/B in `live_load --sweep` differences.
+#[test]
+fn recording_switch_gates_histograms_and_recorder() {
+    static LABELS: [&str; 1] = ["only"];
+    let hists = LabeledHistograms::new(&LABELS);
+    let ring = FlightRecorder::new(16);
+
+    baps_obs::set_recording(false);
+    hists.record(0, Duration::from_millis(5));
+    ring.record(TraceId::mint(1, 1), EventKind::Fetch, Duration::ZERO, "off");
+    assert!(!baps_obs::recording());
+    assert_eq!(hists.snapshot(0).count(), 0);
+    assert_eq!(ring.len(), 0);
+
+    baps_obs::set_recording(true);
+    hists.record(0, Duration::from_millis(5));
+    ring.record(TraceId::mint(1, 2), EventKind::Fetch, Duration::ZERO, "on");
+    assert!(baps_obs::recording());
+    assert_eq!(hists.snapshot(0).count(), 1);
+    assert_eq!(ring.len(), 1);
+}

@@ -1,5 +1,11 @@
 //! A client agent: a browser cache, a peer-serving port, and the fetch
 //! logic with end-to-end integrity verification.
+//!
+//! The agent is also where request tracing starts: every logical
+//! [`ClientAgent::fetch`] mints a [`TraceId`] that rides a `Trace-Id`
+//! header on each hop (GET to the proxy, the proxy's PEERGET/PUSH to a
+//! peer, the origin fetch, the direct DELIVER), so one grep through a
+//! flight-recorder dump reconstructs the whole request path.
 
 use crate::error::ProxyError;
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
@@ -7,8 +13,10 @@ use crate::pool::{dial_with_deadline, WorkerPool};
 use crate::protocol::{
     read_message, response, response_code, status, write_message, Body, Message,
 };
+use crate::proxy::{verb_index, PROXY_VERBS};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
+use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, Tier, TraceId, TIER_NAMES};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -21,6 +29,12 @@ use std::time::{Duration, Instant};
 /// How long a requester waits for a direct peer delivery before falling
 /// back to a peer-bypassing refetch.
 const DELIVERY_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Latency above which a plain cache-hit fetch earns a flight-recorder
+/// span. Multi-hop fetches (peer, origin) and errors are always recorded;
+/// fast local/proxy hits are the ~50k req/s bulk, fully accounted by the
+/// tier histograms, and recording each one measurably taxed the hot path.
+const SLOW_FETCH: Duration = Duration::from_millis(2);
 
 /// Worker threads serving this client's peer port. PEERGET/PUSH arrive on
 /// short-lived proxy connections and DELIVERY on one-shot pushes, so a
@@ -66,6 +80,9 @@ pub struct ClientConfig {
     pub retry_backoff: Duration,
     /// Fault plan consulted by the peer-serving loop (chaos testing).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Shared flight recorder (`None` gives the agent a private ring; the
+    /// test bed shares one ring across the whole deployment).
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ClientConfig {
@@ -76,6 +93,7 @@ impl Default for ClientConfig {
             retries: 2,
             retry_backoff: Duration::from_millis(10),
             faults: None,
+            recorder: None,
         }
     }
 }
@@ -104,6 +122,7 @@ pub struct FetchResult {
 }
 
 struct ClientState {
+    id: u32,
     cache: Mutex<BodyCache>,
     /// Direct deliveries awaiting pickup, keyed by transaction id.
     deliveries: Mutex<HashMap<u64, CachedDoc>>,
@@ -113,6 +132,8 @@ struct ClientState {
     peer_serves: AtomicU64,
     /// Fault plan consulted once per served PEERGET/PUSH.
     faults: Option<Arc<FaultPlan>>,
+    /// Flight recorder the peer-serving loop records into.
+    recorder: Arc<FlightRecorder>,
 }
 
 /// A kept-alive connection to the proxy (paired buffered reader + writer
@@ -165,6 +186,21 @@ pub struct ClientAgent {
     keep_alive: AtomicBool,
     /// Times the persistent connection was found dead and redialed.
     reconnects: AtomicU64,
+    /// Monotone per-agent fetch counter; with the client id it forms the
+    /// [`TraceId`] minted for each logical fetch.
+    fetch_seq: AtomicU64,
+    obs: ClientObs,
+}
+
+/// Client-side observability: the (possibly deployment-shared) flight
+/// recorder plus this agent's own tier/verb latency histograms.
+struct ClientObs {
+    recorder: Arc<FlightRecorder>,
+    /// Whole-fetch latency by serve tier, as the *client* saw it (includes
+    /// the wire, retries, and watermark verification).
+    tiers: LabeledHistograms,
+    /// Round-trip latency by protocol verb, client side.
+    verbs: LabeledHistograms,
 }
 
 impl ClientAgent {
@@ -197,13 +233,19 @@ impl ClientAgent {
     ) -> Result<ClientAgent, ProxyError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let peer_addr = listener.local_addr()?;
+        let recorder = config
+            .recorder
+            .clone()
+            .unwrap_or_else(|| Arc::new(FlightRecorder::default()));
         let state = Arc::new(ClientState {
+            id,
             cache: Mutex::new(BodyCache::new(config.browser_capacity)),
             deliveries: Mutex::new(HashMap::new()),
             delivered: Condvar::new(),
             tamper: Mutex::new(TamperMode::Honest),
             peer_serves: AtomicU64::new(0),
             faults: config.faults.clone(),
+            recorder: Arc::clone(&recorder),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = {
@@ -245,6 +287,12 @@ impl ClientAgent {
             pending_evictions: Mutex::new(Vec::new()),
             keep_alive: AtomicBool::new(true),
             reconnects: AtomicU64::new(0),
+            fetch_seq: AtomicU64::new(0),
+            obs: ClientObs {
+                recorder,
+                tiers: LabeledHistograms::new(&TIER_NAMES),
+                verbs: LabeledHistograms::new(&PROXY_VERBS),
+            },
         };
         agent.register()?;
         Ok(agent)
@@ -310,12 +358,28 @@ impl ClientAgent {
         self.reconnects.load(Ordering::Relaxed)
     }
 
+    /// The flight recorder this agent records into.
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.obs.recorder)
+    }
+
+    /// Client-observed whole-fetch latency for one serve tier.
+    pub fn tier_latency(&self, tier: Tier) -> baps_obs::LatencyHistogram {
+        self.obs.tiers.snapshot(tier.index())
+    }
+
     /// Reads the proxy's live counters over the wire (`STATS BAPS/1.0`).
     /// Returns the raw reply; counter values are in its headers
     /// (`Requests`, `Proxy-Hits`, `Peer-Hits`, `Origin-Fetches`,
     /// `Invalidations`, `Peer-Failures`, `Direct-Pushes`).
     pub fn proxy_stats_raw(&self) -> Result<Message, ProxyError> {
         self.roundtrip(Message::new("STATS BAPS/1.0"))
+    }
+
+    /// Scrapes the proxy's Prometheus exposition over the wire
+    /// (`METRICS BAPS/1.0`). The exposition text is the reply body.
+    pub fn proxy_metrics_raw(&self) -> Result<Message, ProxyError> {
+        self.roundtrip(Message::new("METRICS BAPS/1.0"))
     }
 
     fn register(&self) -> Result<(), ProxyError> {
@@ -342,21 +406,36 @@ impl ClientAgent {
     /// [`ClientConfig::retries`] extra times with exponential backoff
     /// before the error is surfaced.
     pub fn fetch(&self, url: &str) -> Result<FetchResult, ProxyError> {
-        if let Some(doc) = self.state.cache.lock().get(url) {
+        // One trace id per *logical* fetch: retries and the bypass refetch
+        // reuse it, so a dump shows them as spans of the same request.
+        let trace = TraceId::mint(self.id, self.fetch_seq.fetch_add(1, Ordering::Relaxed));
+        let t_fetch = Instant::now();
+        let local = self.state.cache.lock().get(url).map(|doc| doc.body.clone());
+        if let Some(body) = local {
+            let elapsed = t_fetch.elapsed();
+            self.obs.tiers.record(Tier::Local.index(), elapsed);
+            if elapsed > SLOW_FETCH {
+                self.obs.recorder.record(
+                    trace,
+                    EventKind::Fetch,
+                    elapsed,
+                    format!("client={} url={url} source=local", self.id),
+                );
+            }
             return Ok(FetchResult {
-                body: doc.body.clone(),
+                body,
                 source: Source::LocalBrowser,
             });
         }
         let mut attempts_left = self.config.retries;
         let mut backoff = self.config.retry_backoff;
         loop {
-            let result = match self.fetch_via_proxy(url, false) {
+            let result = match self.fetch_via_proxy(url, false, trace) {
                 Err(ProxyError::Integrity(_)) | Err(ProxyError::DeliveryTimeout) => {
                     // A peer served tampered bytes or never delivered:
                     // bypass peers and retry (doesn't consume an attempt —
                     // it is a different request, not a repeat).
-                    self.fetch_via_proxy(url, true)
+                    self.fetch_via_proxy(url, true, trace)
                 }
                 other => other,
             };
@@ -368,7 +447,39 @@ impl ClientAgent {
                     }
                     backoff *= 2;
                 }
-                other => return other,
+                other => {
+                    let elapsed = t_fetch.elapsed();
+                    match &other {
+                        Ok(got) => {
+                            let tier = match got.source {
+                                Source::LocalBrowser => Tier::Local,
+                                Source::Proxy => Tier::Proxy,
+                                Source::Peer => Tier::Peer,
+                                Source::Origin => Tier::Origin,
+                            };
+                            self.obs.tiers.record(tier.index(), elapsed);
+                            // Multi-hop fetches are always worth a span;
+                            // plain cache hits only when they ran slow
+                            // (the histograms account for the fast bulk).
+                            let multi_hop = matches!(tier, Tier::Peer | Tier::Origin);
+                            if multi_hop || elapsed > SLOW_FETCH {
+                                self.obs.recorder.record(
+                                    trace,
+                                    EventKind::Fetch,
+                                    elapsed,
+                                    format!("client={} url={url} source={}", self.id, tier.name()),
+                                );
+                            }
+                        }
+                        Err(e) => self.obs.recorder.record(
+                            trace,
+                            EventKind::Fetch,
+                            elapsed,
+                            format!("client={} url={url} outcome=err: {e}", self.id),
+                        ),
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -391,9 +502,15 @@ impl ClientAgent {
         }
     }
 
-    fn fetch_via_proxy(&self, url: &str, bypass: bool) -> Result<FetchResult, ProxyError> {
-        let mut req =
-            Message::new(format!("GET {url} BAPS/1.0")).header("Client", self.id.to_string());
+    fn fetch_via_proxy(
+        &self,
+        url: &str,
+        bypass: bool,
+        trace: TraceId,
+    ) -> Result<FetchResult, ProxyError> {
+        let mut req = Message::new(format!("GET {url} BAPS/1.0"))
+            .header("Client", self.id.to_string())
+            .header("Trace-Id", trace.to_string());
         let notices: Vec<String> = std::mem::take(&mut *self.pending_evictions.lock());
         if !notices.is_empty() {
             req = req.header("Evicted", notices.join(" "));
@@ -437,8 +554,7 @@ impl ClientAgent {
                 let doc = self
                     .await_delivery(txn)
                     .ok_or(ProxyError::DeliveryTimeout)?;
-                verify_document(&self.proxy_key, &doc.body, &doc.watermark)
-                    .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
+                self.verify_traced(trace, url, &doc.body, &doc.watermark)?;
                 let evicted = self.state.cache.lock().insert(url, doc.clone());
                 self.pending_evictions.lock().extend(evicted);
                 return Ok(FetchResult {
@@ -452,8 +568,7 @@ impl ClientAgent {
             .get("X-Watermark")
             .ok_or_else(|| ProxyError::Protocol("missing watermark".into()))
             .and_then(|h| Watermark::from_hex(h).map_err(ProxyError::Integrity))?;
-        verify_document(&self.proxy_key, &reply.body, &watermark)
-            .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))?;
+        self.verify_traced(trace, url, &reply.body, &watermark)?;
 
         // Cache the verified copy; queue eviction notices for the next
         // request instead of spending a round trip per victim now.
@@ -469,6 +584,40 @@ impl ClientAgent {
             body: reply.body,
             source,
         })
+    }
+
+    /// §6.1 watermark verification wrapped in a `verify` span.
+    ///
+    /// Like the proxy's wait-for-shard span, a routine fast verification
+    /// is not worth a ring event on every request; the span is recorded
+    /// when the verdict is a mismatch or the check ran slow — the two
+    /// cases a dump reader would look for.
+    fn verify_traced(
+        &self,
+        trace: TraceId,
+        url: &str,
+        body: &Body,
+        watermark: &Watermark,
+    ) -> Result<(), ProxyError> {
+        const SLOW_VERIFY: Duration = Duration::from_micros(250);
+        let t_verify = Instant::now();
+        let verdict = verify_document(&self.proxy_key, body, watermark);
+        let verify_time = t_verify.elapsed();
+        if verdict.is_err() || verify_time > SLOW_VERIFY {
+            self.obs.recorder.record(
+                trace,
+                EventKind::Verify,
+                verify_time,
+                format!(
+                    "client={} url={url} outcome={}",
+                    self.id,
+                    if verdict.is_ok() { "ok" } else { "MISMATCH" }
+                ),
+            );
+        }
+        verdict
+            .map(|_| ())
+            .map_err(|_| ProxyError::Integrity(CryptoError::WatermarkMismatch))
     }
 
     /// Tells the proxy this client no longer caches `url`.
@@ -505,6 +654,31 @@ impl ClientAgent {
     ///
     /// [`drop_connections`]: crate::proxy::ProxyServer::drop_connections
     fn roundtrip(&self, msg: Message) -> Result<Message, ProxyError> {
+        let verb = verb_index(msg.tokens().first());
+        let t_verb = Instant::now();
+        let result = self.roundtrip_inner(&msg);
+        self.obs.verbs.record(verb, t_verb.elapsed());
+        result
+    }
+
+    /// Dials the proxy, recording the dial as a span of `trace`.
+    fn dial_traced(&self, trace: TraceId, reason: &str) -> io::Result<ProxyConn> {
+        let t_dial = Instant::now();
+        let conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline);
+        self.obs.recorder.record(
+            trace,
+            EventKind::Dial,
+            t_dial.elapsed(),
+            format!(
+                "client={} reason={reason} outcome={}",
+                self.id,
+                if conn.is_ok() { "ok" } else { "err" }
+            ),
+        );
+        conn
+    }
+
+    fn roundtrip_inner(&self, msg: &Message) -> Result<Message, ProxyError> {
         // EOF before a reply is a transport failure (restart, drop), not a
         // protocol violation — callers may retry it.
         fn hung_up() -> ProxyError {
@@ -513,28 +687,29 @@ impl ClientAgent {
                 "proxy closed connection",
             ))
         }
+        let trace = msg
+            .get("Trace-Id")
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(TraceId::NONE);
         if !self.keep_alive.load(Ordering::Acquire) {
-            let mut conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline)?;
-            return conn.exchange(&msg)?.ok_or_else(hung_up);
+            let mut conn = self.dial_traced(trace, "one-shot")?;
+            return conn.exchange(msg)?.ok_or_else(hung_up);
         }
         let mut guard = self.proxy_conn.lock();
         let reused = guard.is_some();
         if guard.is_none() {
-            *guard = Some(ProxyConn::dial(
-                self.proxy_addr,
-                self.config.proxy_deadline,
-            )?);
+            *guard = Some(self.dial_traced(trace, "first-use")?);
         }
         let conn = guard.as_mut().expect("connection dialed above");
-        match conn.exchange(&msg) {
+        match conn.exchange(msg) {
             Ok(Some(reply)) => Ok(reply),
             // An error or EOF on a reused connection means it went stale
             // while idle: reconnect and replay the request once.
             Ok(None) | Err(_) if reused => {
                 *guard = None;
                 self.reconnects.fetch_add(1, Ordering::Relaxed);
-                let mut conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline)?;
-                let reply = conn.exchange(&msg)?.ok_or_else(hung_up)?;
+                let mut conn = self.dial_traced(trace, "reconnect")?;
+                let reply = conn.exchange(msg)?.ok_or_else(hung_up)?;
                 *guard = Some(conn);
                 Ok(reply)
             }
@@ -624,6 +799,13 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
     let mut writer = stream;
     while let Some(msg) = read_message(&mut reader)? {
         let tokens = msg.tokens();
+        // The proxy forwards the requester's trace id on PEERGET/PUSH and
+        // the pushing peer forwards it on DELIVER, so peer-side spans join
+        // the same trace as the client's fetch.
+        let trace = msg
+            .get("Trace-Id")
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(TraceId::NONE);
         // Fault decisions apply only to requests we serve *to* peers.
         let faultable = matches!(tokens.first(), Some(&"PEERGET") | Some(&"PUSH"));
         let fault = match (faultable, state.faults.as_deref()) {
@@ -634,6 +816,7 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             // Vanish mid-conversation: the dialer sees an abrupt EOF.
             return Ok(());
         }
+        let t_serve = Instant::now();
         let reply = match tokens.as_slice() {
             _ if fault == Some(FaultKind::PeerRefuse) => {
                 // Claim the document is gone even though we may hold it.
@@ -643,7 +826,7 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                 // Clone the handle out so the cache lock is dropped before
                 // the reply is built and written.
                 let doc = state.cache.lock().get(url).cloned();
-                match doc {
+                let reply = match doc {
                     Some(doc) => {
                         state.peer_serves.fetch_add(1, Ordering::Relaxed);
                         let (body, hex) =
@@ -653,28 +836,58 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                             .with_body(body)
                     }
                     None => response(status::GONE, "Gone"),
-                }
+                };
+                state.recorder.record(
+                    trace,
+                    EventKind::PeerServe,
+                    t_serve.elapsed(),
+                    format!(
+                        "client={} verb=PEERGET url={url} outcome={}",
+                        state.id,
+                        if response_code(&reply) == Some(status::OK) {
+                            "ok"
+                        } else {
+                            "gone"
+                        }
+                    ),
+                );
+                reply
             }
             ["PUSH", url, "BAPS/1.0"] => {
                 // Direct-forward order from the proxy: push the document to
                 // the requester's delivery address before acknowledging.
                 let txn = msg.get("Txn").map(str::to_owned);
                 let target = msg.get("Target").map(str::to_owned);
-                match (txn, target, state.cache.lock().get(url).cloned()) {
+                let reply = match (txn, target, state.cache.lock().get(url).cloned()) {
                     (Some(txn), Some(target), Some(doc)) => {
                         state.peer_serves.fetch_add(1, Ordering::Relaxed);
                         let (body, hex) =
                             tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
-                        match deliver_to(&target, url, &txn, &hex, body) {
+                        match deliver_to(&target, url, &txn, &hex, body, trace) {
                             Ok(()) => response(status::OK, "OK"),
                             Err(_) => response(status::GONE, "Delivery Failed"),
                         }
                     }
                     (_, _, None) => response(status::GONE, "Gone"),
                     _ => response(status::BAD_REQUEST, "Bad Request"),
-                }
+                };
+                state.recorder.record(
+                    trace,
+                    EventKind::PeerServe,
+                    t_serve.elapsed(),
+                    format!(
+                        "client={} verb=PUSH url={url} outcome={}",
+                        state.id,
+                        if response_code(&reply) == Some(status::OK) {
+                            "ok"
+                        } else {
+                            "err"
+                        }
+                    ),
+                );
+                reply
             }
-            ["DELIVER", _url, "BAPS/1.0"] => {
+            ["DELIVER", url, "BAPS/1.0"] => {
                 // Incoming direct delivery for one of our own requests.
                 let parsed = msg.get("Txn").and_then(|t| t.parse::<u64>().ok()).zip(
                     msg.get("X-Watermark")
@@ -690,6 +903,12 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                             },
                         );
                         state.delivered.notify_all();
+                        state.recorder.record(
+                            trace,
+                            EventKind::Deliver,
+                            Duration::ZERO,
+                            format!("client={} url={url} txn={txn}", state.id),
+                        );
                         response(status::OK, "OK")
                     }
                     None => response(status::BAD_REQUEST, "Bad Request"),
@@ -716,6 +935,7 @@ fn deliver_to(
     txn: &str,
     watermark_hex: &str,
     body: Body,
+    trace: TraceId,
 ) -> io::Result<()> {
     let addr: SocketAddr = target
         .parse()
@@ -729,6 +949,7 @@ fn deliver_to(
         &Message::new(format!("DELIVER {url} BAPS/1.0"))
             .header("Txn", txn)
             .header("X-Watermark", watermark_hex)
+            .header("Trace-Id", trace.to_string())
             .with_body(body),
     )
 }

@@ -9,12 +9,19 @@
 //!
 //! The [`TestBed`] harness wires a full deployment onto ephemeral ports for
 //! the integration tests and the `live_proxy` example.
+//!
+//! Observability (DESIGN.md §9) is built in: per-request `Trace-Id`s
+//! propagate across every hop, spans land in a deployment-wide
+//! [`baps_obs::FlightRecorder`], latencies in per-tier and per-verb
+//! histograms, and the `METRICS BAPS/1.0` verb exposes it all as
+//! Prometheus text.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod error;
 pub mod fault;
+mod metrics;
 pub mod origin;
 pub mod pool;
 pub mod protocol;
@@ -29,7 +36,7 @@ pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;
 pub use pool::{dial_with_deadline, ConnRegistry, WorkerPool};
 pub use protocol::{encode_message, read_message, response_code, write_message, Body, Message};
-pub use proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use proxy::{ProxyConfig, ProxyCounters, ProxyServer, ProxyStats};
 pub use runtime::{TestBed, TestBedConfig};
 pub use shard::{auto_shards, ShardedCache, StripedIndex};
 pub use store::{BodyCache, CachedDoc, DocumentStore};

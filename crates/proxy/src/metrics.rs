@@ -1,0 +1,220 @@
+//! Prometheus rendering for the `METRICS BAPS/1.0` verb.
+//!
+//! One scrape covers the whole proxy: request counters (from the same
+//! consistent [`ProxyCounters::snapshot`](crate::proxy::ProxyCounters) the
+//! `STATS` verb reads, so `baps_requests_total` always equals the sum of
+//! `baps_served_total` + `baps_errors_total`), cache and index occupancy
+//! with per-shard gauges, the per-tier and per-verb latency histograms,
+//! and the flight recorder's fill level. The exposition format and bucket
+//! layout are documented in DESIGN.md §9.
+
+use crate::proxy::ProxyState;
+use baps_obs::prom::PromText;
+
+/// Renders the full exposition for `state`.
+pub(crate) fn render(state: &ProxyState) -> String {
+    let mut out = PromText::new();
+
+    // Request counters: one consistent snapshot, so the balance identity
+    // requests == proxy_hits + peer_hits + origin_fetches + errors holds
+    // inside every scrape.
+    let s = state.counters.snapshot();
+    out.counter(
+        "baps_requests_total",
+        "GET requests completed (sum of served tiers plus errors).",
+        s.requests,
+    );
+    out.header(
+        "baps_served_total",
+        "counter",
+        "GET requests served, by serve tier.",
+    );
+    out.sample(
+        "baps_served_total",
+        &[("tier", "proxy")],
+        s.proxy_hits as f64,
+    );
+    out.sample("baps_served_total", &[("tier", "peer")], s.peer_hits as f64);
+    out.sample(
+        "baps_served_total",
+        &[("tier", "origin")],
+        s.origin_fetches as f64,
+    );
+    out.counter(
+        "baps_errors_total",
+        "GET requests answered with an error (404/5xx).",
+        s.errors,
+    );
+    out.counter(
+        "baps_invalidations_total",
+        "INVALIDATE messages processed (incl. piggybacked evictions).",
+        s.invalidations,
+    );
+    out.counter(
+        "baps_peer_failures_total",
+        "Peer probes that failed (refused, GONE, bad reply).",
+        s.peer_failures,
+    );
+    out.counter(
+        "baps_direct_pushes_total",
+        "Peer hits served by direct client-to-client pushes.",
+        s.direct_pushes,
+    );
+    out.counter(
+        "baps_peer_fallbacks_total",
+        "Requests that degraded from the peer path to the origin.",
+        s.peer_fallbacks,
+    );
+
+    // Proxy cache: aggregate occupancy plus hit/eviction counters from the
+    // body caches themselves, then per-shard gauges for skew diagnosis.
+    let cache = state.cache.stats();
+    out.gauge(
+        "baps_cache_bytes",
+        "Body bytes held by the proxy cache.",
+        state.cache.used() as f64,
+    );
+    out.gauge(
+        "baps_cache_entries",
+        "Documents held by the proxy cache.",
+        state.cache.len() as f64,
+    );
+    out.counter(
+        "baps_cache_hits_total",
+        "Proxy cache lookups that hit.",
+        cache.hits,
+    );
+    out.counter(
+        "baps_cache_misses_total",
+        "Proxy cache lookups that missed.",
+        cache.misses,
+    );
+    out.counter(
+        "baps_cache_inserts_total",
+        "Documents inserted into the proxy cache.",
+        cache.inserts,
+    );
+    out.counter(
+        "baps_cache_evictions_total",
+        "Documents evicted to make room.",
+        cache.evictions,
+    );
+    out.counter(
+        "baps_cache_evicted_bytes_total",
+        "Body bytes evicted to make room.",
+        cache.evicted_bytes,
+    );
+    shard_series(
+        &mut out,
+        "baps_cache_shard",
+        &state.cache.shard_stats(),
+        true,
+    );
+
+    // Browser index.
+    let idx = state.index.stats();
+    out.gauge(
+        "baps_index_entries",
+        "(client, doc) entries in the browser index.",
+        state.index.entries() as f64,
+    );
+    out.counter(
+        "baps_index_lookups_total",
+        "Browser-index lookups performed.",
+        idx.lookups,
+    );
+    out.counter(
+        "baps_index_hits_total",
+        "Lookups that returned at least one candidate holder.",
+        idx.index_hits,
+    );
+    out.counter(
+        "baps_index_updates_total",
+        "Index updates applied (stores + evictions).",
+        idx.updates,
+    );
+    out.gauge(
+        "baps_index_hit_ratio",
+        "Fraction of lookups that found a candidate holder.",
+        idx.hit_ratio(),
+    );
+    shard_series(
+        &mut out,
+        "baps_index_shard",
+        &state.index.shard_stats(),
+        false,
+    );
+
+    // Flight recorder fill level.
+    out.gauge(
+        "baps_flight_recorder_events",
+        "Events currently held by the flight-recorder ring.",
+        state.obs.recorder.len() as f64,
+    );
+    out.counter(
+        "baps_flight_recorder_dropped_total",
+        "Events dropped because the ring was full.",
+        state.obs.recorder.dropped(),
+    );
+
+    // Latency histograms: answered GETs by serve tier, and every
+    // dispatched message by verb.
+    out.header(
+        "baps_request_latency_ms",
+        "histogram",
+        "GET serve latency by tier, milliseconds.",
+    );
+    for (label, h) in state.obs.tiers.iter() {
+        out.histogram("baps_request_latency_ms", &[("tier", label)], &h);
+    }
+    out.header(
+        "baps_verb_latency_ms",
+        "histogram",
+        "Dispatch latency by protocol verb, milliseconds.",
+    );
+    for (label, h) in state.obs.verbs.iter() {
+        out.histogram("baps_verb_latency_ms", &[("verb", label)], &h);
+    }
+
+    out.finish()
+}
+
+/// Per-shard gauge/counter series under `prefix` (`…_entries`, `…_bytes`
+/// for caches, `…_lock_acquires_total`, `…_lock_wait_micros_total`).
+fn shard_series(
+    out: &mut PromText,
+    prefix: &str,
+    shards: &[crate::shard::ShardStats],
+    with_bytes: bool,
+) {
+    let entries = format!("{prefix}_entries");
+    out.header(&entries, "gauge", "Entries held, by shard.");
+    for (i, st) in shards.iter().enumerate() {
+        let shard = i.to_string();
+        out.sample(&entries, &[("shard", &shard)], st.entries as f64);
+    }
+    if with_bytes {
+        let bytes = format!("{prefix}_bytes");
+        out.header(&bytes, "gauge", "Body bytes held, by shard.");
+        for (i, st) in shards.iter().enumerate() {
+            let shard = i.to_string();
+            out.sample(&bytes, &[("shard", &shard)], st.bytes as f64);
+        }
+    }
+    let acquires = format!("{prefix}_lock_acquires_total");
+    out.header(&acquires, "counter", "Shard lock acquisitions.");
+    for (i, st) in shards.iter().enumerate() {
+        let shard = i.to_string();
+        out.sample(&acquires, &[("shard", &shard)], st.lock_acquires as f64);
+    }
+    let wait = format!("{prefix}_lock_wait_micros_total");
+    out.header(
+        &wait,
+        "counter",
+        "Cumulative microseconds spent waiting for the shard lock.",
+    );
+    for (i, st) in shards.iter().enumerate() {
+        let shard = i.to_string();
+        out.sample(&wait, &[("shard", &shard)], st.lock_wait_micros as f64);
+    }
+}

@@ -5,6 +5,7 @@ use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, status, write_message, Message};
 use crate::store::DocumentStore;
+use baps_obs::{EventKind, FlightRecorder, TraceId};
 use parking_lot::RwLock;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,16 +51,29 @@ impl OriginServer {
         backlog: usize,
         faults: Option<Arc<FaultPlan>>,
     ) -> io::Result<OriginServer> {
+        OriginServer::start_with_recorder(store, workers, backlog, faults, None)
+    }
+
+    /// Starts the server recording `origin-serve` spans into `recorder`
+    /// (the test bed passes the deployment-shared ring).
+    pub fn start_with_recorder(
+        store: DocumentStore,
+        workers: usize,
+        backlog: usize,
+        faults: Option<Arc<FaultPlan>>,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> io::Result<OriginServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let hits = Arc::new(AtomicU64::new(0));
         let store = Arc::new(RwLock::new(store));
+        let recorder = recorder.unwrap_or_else(|| Arc::new(FlightRecorder::default()));
         let pool = {
             let hits = Arc::clone(&hits);
             let store = Arc::clone(&store);
             WorkerPool::start("baps-origin-worker", workers, backlog, move |stream| {
-                let _ = serve_connection(stream, &store, &hits, faults.as_deref());
+                let _ = serve_connection(stream, &store, &hits, faults.as_deref(), &recorder);
             })?
         };
         let handle = {
@@ -131,6 +145,7 @@ fn serve_connection(
     store: &RwLock<DocumentStore>,
     hits: &AtomicU64,
     faults: Option<&FaultPlan>,
+    recorder: &FlightRecorder,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -152,7 +167,27 @@ fn serve_connection(
                 )?;
             }
             other => {
+                let t_serve = std::time::Instant::now();
                 let reply = handle_request(&msg, store, hits);
+                if let ["GET", url, "ORIGIN/1.0"] = msg.tokens().as_slice() {
+                    let trace = msg
+                        .get("Trace-Id")
+                        .and_then(|h| h.parse().ok())
+                        .unwrap_or(TraceId::NONE);
+                    recorder.record(
+                        trace,
+                        EventKind::OriginServe,
+                        t_serve.elapsed(),
+                        format!(
+                            "url={url} outcome={}",
+                            if crate::protocol::response_code(&reply) == Some(status::OK) {
+                                "ok"
+                            } else {
+                                "miss"
+                            }
+                        ),
+                    );
+                }
                 let stall = faults.map(FaultPlan::stall).unwrap_or_default();
                 if !write_reply_with_fault(&mut writer, &reply, other, stall)? {
                     return Ok(());

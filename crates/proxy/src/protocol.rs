@@ -25,7 +25,18 @@
 //!   carries every [`ProxyCounters`] field as a header (`Requests`,
 //!   `Proxy-Hits`, `Peer-Hits`, `Origin-Fetches`, `Invalidations`,
 //!   `Peer-Failures`, `Direct-Pushes`);
+//! * `METRICS BAPS/1.0` — operator → proxy metrics scrape; the reply body
+//!   is a Prometheus text exposition (counters, per-shard gauges,
+//!   per-tier/per-verb latency histograms — see DESIGN.md §9), with
+//!   `Content-Type: text/plain; version=0.0.4`. Supersedes the ad-hoc
+//!   `STATS` headers for monitoring; `STATS` remains for compatibility;
 //! * `GET <url> ORIGIN/1.0` — proxy → origin server fetch.
+//!
+//! Requests initiated on behalf of a client fetch additionally carry a
+//! `Trace-Id: <16 hex digits>` header (minted by the requesting client,
+//! forwarded by the proxy on `PEERGET`/`PUSH` and on the origin `GET`), so
+//! one request can be followed through every component's flight-recorder
+//! events.
 //!
 //! Responses: `BAPS/1.0 <code> <reason>` with `Content-Length`, `X-Source`
 //! (`proxy` | `peer` | `origin`) and `X-Watermark` (hex, §6.1) headers.

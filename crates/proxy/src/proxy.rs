@@ -6,6 +6,12 @@
 //! other's identity (§6.2). Every document first fetched from the origin is
 //! stamped with a digital watermark signed by the proxy (§6.1); watermarks
 //! travel with cached copies and are verified end to end.
+//!
+//! Observability (DESIGN.md §9): every verb is timed into a per-verb
+//! latency histogram, every answered `GET` into a per-tier histogram, and
+//! the interesting spans (shard wait, peer probes, origin fetches) land in
+//! a shared [`FlightRecorder`] keyed by the client-minted `Trace-Id`. The
+//! `METRICS BAPS/1.0` verb renders all of it as Prometheus text.
 
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{dial_with_deadline, ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
@@ -15,6 +21,7 @@ use crate::protocol::{
 use crate::shard::{auto_shards, ShardedCache, StripedIndex, DEFAULT_INDEX_SHARDS};
 use crate::store::CachedDoc;
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
+use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, Tier, TraceId, TIER_NAMES};
 use baps_trace::{ClientId, DocId, Interner};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -25,7 +32,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum peer candidates probed per request.
 const MAX_PEER_PROBES: usize = 4;
@@ -77,6 +84,10 @@ pub struct ProxyConfig {
     pub origin_retries: u32,
     /// Fault plan consulted once per client-facing `GET` (chaos testing).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Shared flight recorder. `None` gives the proxy a private ring; the
+    /// test bed passes one ring shared with the origin and every client so
+    /// a single dump interleaves all sides of a request.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl ProxyConfig {
@@ -98,10 +109,16 @@ impl ProxyConfig {
 }
 
 /// Aggregate counters, readable while the proxy runs.
+///
+/// There is deliberately no `requests` counter: a request total incremented
+/// separately from the outcome counters can be read mid-request, producing
+/// snapshots where `requests != proxy_hits + peer_hits + origin_fetches +
+/// errors`. [`ProxyCounters::snapshot`] instead *derives* the total from
+/// the outcome counters, so the balance identity holds in every snapshot
+/// by construction (each outcome counter is bumped exactly once, when the
+/// request's fate is decided).
 #[derive(Debug, Default)]
 pub struct ProxyCounters {
-    /// GET requests handled.
-    pub requests: AtomicU64,
     /// Served from the proxy cache.
     pub proxy_hits: AtomicU64,
     /// Served from a peer browser cache.
@@ -118,15 +135,39 @@ pub struct ProxyCounters {
     /// probe failed, so the request degraded to the origin path.
     pub peer_fallbacks: AtomicU64,
     /// GET requests answered with an error (404 or 5xx) instead of a
-    /// document. `requests == proxy_hits + peer_hits + origin_fetches +
-    /// errors` always holds.
+    /// document.
     pub errors: AtomicU64,
+}
+
+impl ProxyCounters {
+    /// A consistent snapshot: each outcome counter is read exactly once
+    /// and the request total is derived from them, so
+    /// `requests == proxy_hits + peer_hits + origin_fetches + errors`
+    /// holds in the result even while workers are mid-flight.
+    pub fn snapshot(&self) -> ProxyStats {
+        let proxy_hits = self.proxy_hits.load(Ordering::Relaxed);
+        let peer_hits = self.peer_hits.load(Ordering::Relaxed);
+        let origin_fetches = self.origin_fetches.load(Ordering::Relaxed);
+        let errors = self.errors.load(Ordering::Relaxed);
+        ProxyStats {
+            requests: proxy_hits + peer_hits + origin_fetches + errors,
+            proxy_hits,
+            peer_hits,
+            origin_fetches,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            peer_failures: self.peer_failures.load(Ordering::Relaxed),
+            direct_pushes: self.direct_pushes.load(Ordering::Relaxed),
+            peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
+            errors,
+        }
+    }
 }
 
 /// Snapshot of [`ProxyCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProxyStats {
-    /// GET requests handled.
+    /// GET requests completed (derived: the sum of the four outcome
+    /// counters, so the balance identity holds in every snapshot).
     pub requests: u64,
     /// Served from the proxy cache.
     pub proxy_hits: u64,
@@ -146,20 +187,51 @@ pub struct ProxyStats {
     pub errors: u64,
 }
 
+/// Shard-lock waits above this are worth a flight-recorder event even on
+/// a cache hit; anything quicker is uncontended-fast-path noise.
+const SLOW_SHARD_WAIT: Duration = Duration::from_micros(100);
+
+/// Label set for the proxy's per-verb latency histograms.
+pub(crate) const PROXY_VERBS: [&str; 6] =
+    ["GET", "INVALIDATE", "REGISTER", "STATS", "METRICS", "other"];
+
+/// Position of a request's first token in [`PROXY_VERBS`].
+pub(crate) fn verb_index(verb: Option<&&str>) -> usize {
+    match verb {
+        Some(&"GET") => 0,
+        Some(&"INVALIDATE") => 1,
+        Some(&"REGISTER") => 2,
+        Some(&"STATS") => 3,
+        Some(&"METRICS") => 4,
+        _ => 5,
+    }
+}
+
+/// The proxy's observability surfaces: tier + verb histograms and the
+/// flight-recorder ring (possibly shared deployment-wide).
+pub(crate) struct ProxyObs {
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// `baps_request_latency_ms{tier=…}`: answered GETs by serve tier.
+    pub(crate) tiers: LabeledHistograms,
+    /// `baps_verb_latency_ms{verb=…}`: every dispatched message.
+    pub(crate) verbs: LabeledHistograms,
+}
+
 /// Shared proxy state. Lock discipline (see DESIGN.md): `cache` and
 /// `index` are doc-sharded stripes (one lock per shard); `urls` and
 /// `peers` are read-mostly RwLocks; `relay` and `origin_pool` are brief
 /// bookkeeping mutexes. No lock is ever held across socket I/O, an origin
 /// fetch, or a body copy, and no worker holds two locks at once.
-struct ProxyState {
-    cache: ShardedCache,
-    index: StripedIndex,
+pub(crate) struct ProxyState {
+    pub(crate) cache: ShardedCache,
+    pub(crate) index: StripedIndex,
     urls: RwLock<Interner>,
     peers: RwLock<HashMap<u32, SocketAddr>>,
     relay: Mutex<AnonymizingProxy>,
     signer: ProxySigner,
-    counters: ProxyCounters,
+    pub(crate) counters: ProxyCounters,
     config: ProxyConfig,
+    pub(crate) obs: ProxyObs,
     /// Idle keep-alive connections to the origin, reused across fetches.
     origin_pool: Mutex<Vec<OriginConn>>,
 }
@@ -192,6 +264,10 @@ impl ProxyServer {
         } else {
             config.accept_backlog
         };
+        let recorder = config
+            .recorder
+            .clone()
+            .unwrap_or_else(|| Arc::new(FlightRecorder::default()));
         let state = Arc::new(ProxyState {
             cache: ShardedCache::new(config.cache_capacity, auto_shards(config.cache_capacity)),
             index: StripedIndex::new(DEFAULT_INDEX_SHARDS),
@@ -201,6 +277,11 @@ impl ProxyServer {
             signer,
             counters: ProxyCounters::default(),
             config,
+            obs: ProxyObs {
+                recorder,
+                tiers: LabeledHistograms::new(&TIER_NAMES),
+                verbs: LabeledHistograms::new(&PROXY_VERBS),
+            },
             origin_pool: Mutex::new(Vec::new()),
         });
         let pool = {
@@ -246,20 +327,28 @@ impl ProxyServer {
         self.state.signer.public_key()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. The balance identity `requests == proxy_hits +
+    /// peer_hits + origin_fetches + errors` holds in every snapshot, even
+    /// taken mid-load (see [`ProxyCounters::snapshot`]).
     pub fn stats(&self) -> ProxyStats {
-        let c = &self.state.counters;
-        ProxyStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            proxy_hits: c.proxy_hits.load(Ordering::Relaxed),
-            peer_hits: c.peer_hits.load(Ordering::Relaxed),
-            origin_fetches: c.origin_fetches.load(Ordering::Relaxed),
-            invalidations: c.invalidations.load(Ordering::Relaxed),
-            peer_failures: c.peer_failures.load(Ordering::Relaxed),
-            direct_pushes: c.direct_pushes.load(Ordering::Relaxed),
-            peer_fallbacks: c.peer_fallbacks.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-        }
+        self.state.counters.snapshot()
+    }
+
+    /// The flight recorder this proxy records into (shared with the whole
+    /// deployment when the config provided one).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.state.obs.recorder)
+    }
+
+    /// The Prometheus exposition the `METRICS BAPS/1.0` verb serves,
+    /// rendered directly (test/ops hook — no connection needed).
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.state)
+    }
+
+    /// Per-tier latency snapshot (`Tier::index` selects the series).
+    pub fn tier_latency(&self, tier: Tier) -> baps_obs::LatencyHistogram {
+        self.state.obs.tiers.snapshot(tier.index())
     }
 
     /// Test/diagnostic hook: whether the browser index currently lists
@@ -346,7 +435,12 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
             // replays; the request is never counted.
             return Ok(());
         }
+        let t_verb = Instant::now();
         let reply = dispatch(&msg, peer_ip, state);
+        state
+            .obs
+            .verbs
+            .record(verb_index(msg.tokens().first()), t_verb.elapsed());
         if let Some(reply) = reply {
             let stall = state
                 .config
@@ -363,6 +457,12 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
 }
 
 fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Option<Message> {
+    // The client mints a trace id per logical fetch and stamps every hop;
+    // administrative verbs and legacy clients simply have none.
+    let trace = msg
+        .get("Trace-Id")
+        .and_then(|h| h.parse().ok())
+        .unwrap_or(TraceId::NONE);
     match msg.tokens().as_slice() {
         ["GET", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
@@ -370,15 +470,15 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
             // re-fetch of a just-evicted document is ordered correctly).
             if let Some(evicted) = msg.get("Evicted") {
                 for victim in evicted.split(' ').filter(|u| !u.is_empty()) {
-                    handle_invalidate(victim, client, state);
+                    handle_invalidate(victim, client, trace, state);
                 }
             }
             let bypass = msg.get("Bypass-Peers").is_some();
-            Some(handle_get(url, client, bypass, state))
+            Some(handle_get(url, client, bypass, trace, state))
         }
         ["INVALIDATE", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
-            handle_invalidate(url, client, state);
+            handle_invalidate(url, client, trace, state);
             Some(response(status::OK, "OK"))
         }
         ["REGISTER", port, "BAPS/1.0"] => {
@@ -391,6 +491,14 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
             Some(response(status::OK, "OK"))
         }
         ["STATS", "BAPS/1.0"] => Some(stats_response(state)),
+        ["METRICS", "BAPS/1.0"] => {
+            let text = crate::metrics::render(state);
+            Some(
+                response(status::OK, "OK")
+                    .header("Content-Type", "text/plain; version=0.0.4")
+                    .with_body(text.into_bytes()),
+            )
+        }
         _ => Some(response(status::BAD_REQUEST, "Bad Request")),
     }
 }
@@ -405,18 +513,48 @@ fn doc_id(state: &ProxyState, url: &str) -> DocId {
     DocId(state.urls.write().intern(url))
 }
 
-fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) -> Message {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+fn handle_get(
+    url: &str,
+    client: u32,
+    bypass_peers: bool,
+    trace: TraceId,
+    state: &ProxyState,
+) -> Message {
+    let t_request = Instant::now();
     let doc = doc_id(state, url);
     let requester = ClientId(client);
 
     // 1. Proxy cache. The hit hands back a shared body handle — the shard
     // lock is held only for the map lookup, never while the reply frame is
     // written.
-    if let Some(cached) = state.cache.get(doc, url) {
+    let t_shard = Instant::now();
+    let cached = state.cache.get(doc, url);
+    let shard_wait = t_shard.elapsed();
+    // Fast cache hits are the hot path (tens of thousands per second, all
+    // identical); a ring event for each would be pure overhead with no
+    // diagnostic value. Record the span only when it says something — a
+    // miss (the request is about to leave the fast path) or a slow lock
+    // acquisition (shard contention, the thing this span exists to show).
+    if cached.is_none() || shard_wait > SLOW_SHARD_WAIT {
+        state.obs.recorder.record(
+            trace,
+            EventKind::WaitForShard,
+            shard_wait,
+            if cached.is_some() {
+                "cache=hit"
+            } else {
+                "cache=miss"
+            },
+        );
+    }
+    if let Some(cached) = cached {
         state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
         // The client will cache what we send it (it invalidates on evict).
         state.index.on_store(requester, doc);
+        state
+            .obs
+            .tiers
+            .record(Tier::Proxy.index(), t_request.elapsed());
         return ok_response("proxy", &cached);
     }
 
@@ -427,11 +565,27 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
         for peer in candidates.into_iter().take(MAX_PEER_PROBES) {
             probed_peers = true;
             if state.config.direct_forward {
-                match order_direct_push(state, PeerId(client), peer, url) {
+                let t_push = Instant::now();
+                let pushed = order_direct_push(state, PeerId(client), peer, url, trace);
+                state.obs.recorder.record(
+                    trace,
+                    EventKind::PushOrder,
+                    t_push.elapsed(),
+                    format!(
+                        "peer={} url={url} outcome={}",
+                        peer.0,
+                        if pushed.is_ok() { "ok" } else { "err" }
+                    ),
+                );
+                match pushed {
                     Ok(txn) => {
                         state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                         state.counters.direct_pushes.fetch_add(1, Ordering::Relaxed);
                         state.index.on_store(requester, doc);
+                        state
+                            .obs
+                            .tiers
+                            .record(Tier::Peer.index(), t_request.elapsed());
                         return response(status::OK, "OK")
                             .header("X-Source", "peer-direct")
                             .header("Txn", txn.to_string());
@@ -443,13 +597,29 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
                 }
                 continue;
             }
-            match fetch_from_peer(state, PeerId(client), peer, url) {
+            let t_probe = Instant::now();
+            let probed = fetch_from_peer(state, PeerId(client), peer, url, trace);
+            state.obs.recorder.record(
+                trace,
+                EventKind::PeerProbe,
+                t_probe.elapsed(),
+                format!(
+                    "peer={} url={url} outcome={}",
+                    peer.0,
+                    if probed.is_ok() { "ok" } else { "err" }
+                ),
+            );
+            match probed {
                 Ok(cached) => {
                     state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                     if state.config.cache_peer_hits {
                         state.cache.insert(doc, url, cached.clone());
                     }
                     state.index.on_store(requester, doc);
+                    state
+                        .obs
+                        .tiers
+                        .record(Tier::Peer.index(), t_request.elapsed());
                     return ok_response("peer", &cached);
                 }
                 Err(_) => {
@@ -469,7 +639,18 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
             .peer_fallbacks
             .fetch_add(1, Ordering::Relaxed);
     }
-    match fetch_from_origin(state, url) {
+    let t_origin = Instant::now();
+    let fetched = fetch_from_origin(state, url, trace);
+    state.obs.recorder.record(
+        trace,
+        EventKind::OriginFetch,
+        t_origin.elapsed(),
+        format!(
+            "url={url} outcome={}",
+            if fetched.is_ok() { "ok" } else { "err" }
+        ),
+    );
+    match fetched {
         Ok(body) => {
             state
                 .counters
@@ -481,6 +662,10 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
             };
             state.cache.insert(doc, url, cached.clone());
             state.index.on_store(requester, doc);
+            state
+                .obs
+                .tiers
+                .record(Tier::Origin.index(), t_request.elapsed());
             ok_response("origin", &cached)
         }
         Err(e) => {
@@ -497,45 +682,34 @@ fn handle_get(url: &str, client: u32, bypass_peers: bool, state: &ProxyState) ->
     }
 }
 
-fn handle_invalidate(url: &str, client: u32, state: &ProxyState) {
+fn handle_invalidate(url: &str, client: u32, trace: TraceId, state: &ProxyState) {
     state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
     let doc = doc_id(state, url);
     state.index.on_evict(ClientId(client), doc);
+    state.obs.recorder.record(
+        trace,
+        EventKind::Invalidate,
+        Duration::ZERO,
+        format!("client={client} url={url}"),
+    );
 }
 
-/// Reply for the `STATS BAPS/1.0` verb: every [`ProxyCounters`] field as a
+/// Reply for the `STATS BAPS/1.0` verb: every [`ProxyStats`] field as a
 /// header, so operators (and the load generator) can read live counters
-/// over the wire without a side channel.
+/// over the wire without a side channel. Reads one consistent
+/// [`ProxyCounters::snapshot`], so the headers always balance.
 fn stats_response(state: &ProxyState) -> Message {
-    let c = &state.counters;
+    let s = state.counters.snapshot();
     response(status::OK, "OK")
-        .header("Requests", c.requests.load(Ordering::Relaxed).to_string())
-        .header(
-            "Proxy-Hits",
-            c.proxy_hits.load(Ordering::Relaxed).to_string(),
-        )
-        .header("Peer-Hits", c.peer_hits.load(Ordering::Relaxed).to_string())
-        .header(
-            "Origin-Fetches",
-            c.origin_fetches.load(Ordering::Relaxed).to_string(),
-        )
-        .header(
-            "Invalidations",
-            c.invalidations.load(Ordering::Relaxed).to_string(),
-        )
-        .header(
-            "Peer-Failures",
-            c.peer_failures.load(Ordering::Relaxed).to_string(),
-        )
-        .header(
-            "Direct-Pushes",
-            c.direct_pushes.load(Ordering::Relaxed).to_string(),
-        )
-        .header(
-            "Peer-Fallbacks",
-            c.peer_fallbacks.load(Ordering::Relaxed).to_string(),
-        )
-        .header("Errors", c.errors.load(Ordering::Relaxed).to_string())
+        .header("Requests", s.requests.to_string())
+        .header("Proxy-Hits", s.proxy_hits.to_string())
+        .header("Peer-Hits", s.peer_hits.to_string())
+        .header("Origin-Fetches", s.origin_fetches.to_string())
+        .header("Invalidations", s.invalidations.to_string())
+        .header("Peer-Failures", s.peer_failures.to_string())
+        .header("Direct-Pushes", s.direct_pushes.to_string())
+        .header("Peer-Fallbacks", s.peer_fallbacks.to_string())
+        .header("Errors", s.errors.to_string())
         .header("Cache-Shards", state.cache.n_shards().to_string())
         .header("Cache-Bytes", state.cache.used().to_string())
         .header(
@@ -589,6 +763,7 @@ fn fetch_from_peer(
     requester: PeerId,
     peer: ClientId,
     url: &str,
+    trace: TraceId,
 ) -> Result<CachedDoc, io::Error> {
     let addr = state
         .peers
@@ -599,7 +774,7 @@ fn fetch_from_peer(
     let mut attempts_left = state.config.peer_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        match probe_peer_once(state, requester, addr, url) {
+        match probe_peer_once(state, requester, addr, url, trace) {
             Err(e) if e.kind() != io::ErrorKind::NotFound && attempts_left > 0 => {
                 attempts_left -= 1;
                 std::thread::sleep(backoff);
@@ -616,6 +791,7 @@ fn probe_peer_once(
     requester: PeerId,
     addr: SocketAddr,
     url: &str,
+    trace: TraceId,
 ) -> Result<CachedDoc, io::Error> {
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<CachedDoc> {
@@ -624,7 +800,9 @@ fn probe_peer_once(
         let mut writer = stream;
         write_message(
             &mut writer,
-            &Message::new(format!("PEERGET {url} BAPS/1.0")).header("Txn", order.txn.0.to_string()),
+            &Message::new(format!("PEERGET {url} BAPS/1.0"))
+                .header("Txn", order.txn.0.to_string())
+                .header("Trace-Id", trace.to_string()),
         )?;
         let reply = read_message(&mut reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
@@ -666,6 +844,7 @@ fn order_direct_push(
     requester: PeerId,
     peer: ClientId,
     url: &str,
+    trace: TraceId,
 ) -> Result<u64, io::Error> {
     let peer_addr = state
         .peers
@@ -688,7 +867,8 @@ fn order_direct_push(
             &mut writer,
             &Message::new(format!("PUSH {url} BAPS/1.0"))
                 .header("Txn", order.txn.0.to_string())
-                .header("Target", target_addr.to_string()),
+                .header("Target", target_addr.to_string())
+                .header("Trace-Id", trace.to_string()),
         )?;
         let reply = read_message(&mut reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
@@ -730,10 +910,10 @@ fn origin_dial(state: &ProxyState) -> io::Result<OriginConn> {
     })
 }
 
-fn origin_request(conn: &mut OriginConn, url: &str) -> io::Result<Message> {
+fn origin_request(conn: &mut OriginConn, url: &str, trace: TraceId) -> io::Result<Message> {
     write_message(
         &mut conn.writer,
-        &Message::new(format!("GET {url} ORIGIN/1.0")),
+        &Message::new(format!("GET {url} ORIGIN/1.0")).header("Trace-Id", trace.to_string()),
     )?;
     read_message(&mut conn.reader)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "origin closed connection"))
@@ -746,18 +926,18 @@ fn origin_request(conn: &mut OriginConn, url: &str) -> io::Result<Message> {
 /// completed a well-framed exchange are checked back in, capped at the
 /// worker count; a connection that errored (possibly mid-frame) is
 /// discarded so a desynchronised stream can never be reused.
-fn origin_attempt(state: &ProxyState, url: &str) -> io::Result<Message> {
+fn origin_attempt(state: &ProxyState, url: &str, trace: TraceId) -> io::Result<Message> {
     let pooled = state.origin_pool.lock().pop();
     let reused = pooled.is_some();
     let mut conn = match pooled {
         Some(conn) => conn,
         None => origin_dial(state)?,
     };
-    let reply = match origin_request(&mut conn, url) {
+    let reply = match origin_request(&mut conn, url, trace) {
         Ok(reply) => reply,
         Err(_) if reused => {
             conn = origin_dial(state)?;
-            origin_request(&mut conn, url)?
+            origin_request(&mut conn, url, trace)?
         }
         Err(e) => return Err(e),
     };
@@ -779,11 +959,11 @@ fn origin_attempt(state: &ProxyState, url: &str) -> io::Result<Message> {
 /// Fetches `url` from the origin with bounded retries: transport failures
 /// and 5xx replies are retried up to `origin_retries` extra times with
 /// backoff; 200 and 404 are authoritative.
-fn fetch_from_origin(state: &ProxyState, url: &str) -> Result<Body, OriginError> {
+fn fetch_from_origin(state: &ProxyState, url: &str, trace: TraceId) -> Result<Body, OriginError> {
     let mut attempts_left = state.config.origin_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        let failure = match origin_attempt(state, url) {
+        let failure = match origin_attempt(state, url, trace) {
             Ok(reply) => match response_code(&reply) {
                 Some(status::OK) => return Ok(reply.body),
                 Some(status::NOT_FOUND) => return Err(OriginError::NotFound),
@@ -816,5 +996,22 @@ mod tests {
         };
         let reply = ok_response("proxy", &cached);
         assert!(Arc::ptr_eq(&reply.body, &body));
+    }
+
+    /// The snapshot derives `requests` from the outcome counters, so the
+    /// balance identity can never be observed broken.
+    #[test]
+    fn snapshot_balances_by_construction() {
+        let c = ProxyCounters::default();
+        c.proxy_hits.fetch_add(3, Ordering::Relaxed);
+        c.peer_hits.fetch_add(2, Ordering::Relaxed);
+        c.origin_fetches.fetch_add(5, Ordering::Relaxed);
+        c.errors.fetch_add(1, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.requests, 11);
+        assert_eq!(
+            s.requests,
+            s.proxy_hits + s.peer_hits + s.origin_fetches + s.errors
+        );
     }
 }

@@ -6,6 +6,7 @@ use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
 use crate::proxy::{ProxyConfig, ProxyServer};
 use crate::store::DocumentStore;
+use baps_obs::FlightRecorder;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +49,11 @@ pub struct TestBedConfig {
     /// Shared fault plan wired into the origin, proxy, and every client's
     /// peer-serving loop (chaos testing). `None` runs everything honest.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Flight-recorder ring capacity (events). `0` uses
+    /// [`FlightRecorder::DEFAULT_CAPACITY`]. One ring is shared by the
+    /// origin, the proxy, and every client, so a dump interleaves all
+    /// sides of each traced request.
+    pub recorder_capacity: usize,
 }
 
 impl Default for TestBedConfig {
@@ -68,6 +74,7 @@ impl Default for TestBedConfig {
             origin_timeout: Duration::ZERO,
             origin_retries: 1,
             fault_plan: None,
+            recorder_capacity: 0,
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct TestBed {
     pub proxy: ProxyServer,
     /// The client agents.
     pub clients: Vec<ClientAgent>,
+    /// The deployment-wide flight recorder (also reachable through
+    /// `proxy.recorder()` / any client's `recorder()`).
+    pub recorder: Arc<FlightRecorder>,
 }
 
 impl TestBed {
@@ -98,11 +108,17 @@ impl TestBed {
         // a pooled keep-alive origin connection, and each of those occupies
         // an origin worker while open. A fixed-size origin pool deadlocks
         // fetches behind held-open connections once workers > pool size.
-        let origin = OriginServer::start_with_faults(
+        let recorder = Arc::new(if config.recorder_capacity == 0 {
+            FlightRecorder::default()
+        } else {
+            FlightRecorder::new(config.recorder_capacity)
+        });
+        let origin = OriginServer::start_with_recorder(
             store,
             workers,
             crate::pool::DEFAULT_BACKLOG,
             config.fault_plan.clone(),
+            Some(Arc::clone(&recorder)),
         )?;
         let proxy = ProxyServer::start(ProxyConfig {
             cache_capacity: config.proxy_capacity,
@@ -117,6 +133,7 @@ impl TestBed {
             origin_timeout: config.origin_timeout,
             origin_retries: config.origin_retries,
             faults: config.fault_plan.clone(),
+            recorder: Some(Arc::clone(&recorder)),
         })?;
         let key = proxy.public_key();
         let clients = (0..config.n_clients)
@@ -131,6 +148,7 @@ impl TestBed {
                         retries: config.client_retries,
                         retry_backoff: Duration::from_millis(10),
                         faults: config.fault_plan.clone(),
+                        recorder: Some(Arc::clone(&recorder)),
                     },
                 )
             })
@@ -139,6 +157,7 @@ impl TestBed {
             origin,
             proxy,
             clients,
+            recorder,
         })
     }
 

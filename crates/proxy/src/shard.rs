@@ -6,8 +6,9 @@
 //! Two workers handling different documents take different locks and never
 //! contend; a worker holds exactly one shard lock at a time, only for the
 //! in-memory operation, and never across socket I/O (see DESIGN.md's lock
-//! map). Every shard also tallies its lock acquisitions so the `STATS`
-//! verb can report contention spread.
+//! map). Every shard also tallies its lock acquisitions and cumulative
+//! lock-wait time so the `STATS` and `METRICS` verbs can report
+//! contention spread.
 //!
 //! Sharding the cache splits the byte budget evenly across shards, which
 //! is *not* identical to one global LRU: a pathologically skewed shard can
@@ -19,8 +20,28 @@
 use crate::store::{BodyCache, CachedDoc};
 use baps_index::{shard_of, ExactIndex, IndexStats};
 use baps_trace::{ClientId, DocId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Locks `mutex`, attributing the wait (the time between asking for the
+/// lock and holding it) to `wait_nanos`. An uncontended acquisition has
+/// nothing to attribute, so it goes through `try_lock` — one CAS, no
+/// clock reads; two clock reads on *every* cache lookup measurably taxed
+/// the hot path. Only the contended slow path pays for timing, and skips
+/// it while recording is off so the overhead benchmark can difference it.
+fn lock_timed<'a, T>(mutex: &'a Mutex<T>, wait_nanos: &AtomicU64) -> MutexGuard<'a, T> {
+    if let Some(guard) = mutex.try_lock() {
+        return guard;
+    }
+    if !baps_obs::recording() {
+        return mutex.lock();
+    }
+    let t = Instant::now();
+    let guard = mutex.lock();
+    wait_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    guard
+}
 
 /// Smallest per-shard byte budget [`auto_shards`] will carve out.
 pub const MIN_SHARD_CAPACITY: u64 = 32 << 10;
@@ -46,11 +67,15 @@ pub struct ShardStats {
     pub bytes: u64,
     /// Times the shard's lock has been acquired.
     pub lock_acquires: u64,
+    /// Cumulative microseconds spent *waiting* for the shard's lock — the
+    /// wait-for-shard span. Near zero unless shards are contended.
+    pub lock_wait_micros: u64,
 }
 
 struct CacheShard {
     cache: Mutex<BodyCache>,
     lock_acquires: AtomicU64,
+    lock_wait_nanos: AtomicU64,
 }
 
 /// A [`BodyCache`] striped into doc-hashed shards, each behind its own
@@ -70,6 +95,7 @@ impl ShardedCache {
                 CacheShard {
                     cache: Mutex::new(BodyCache::new(share)),
                     lock_acquires: AtomicU64::new(0),
+                    lock_wait_nanos: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -81,32 +107,34 @@ impl ShardedCache {
         self.shards.len()
     }
 
-    fn shard(&self, doc: DocId) -> &CacheShard {
+    /// Routes to the shard for `doc` and locks it, tallying the
+    /// acquisition and attributing any wait to the shard.
+    fn locked(&self, doc: DocId) -> MutexGuard<'_, BodyCache> {
         let s = &self.shards[shard_of(doc, self.shards.len())];
         s.lock_acquires.fetch_add(1, Ordering::Relaxed);
-        s
+        lock_timed(&s.cache, &s.lock_wait_nanos)
     }
 
     /// Looks up `url`, promoting it on a hit. The returned [`CachedDoc`]
     /// shares the cached body (refcount bump, no copy) — the shard lock is
     /// released before the caller touches the bytes.
     pub fn get(&self, doc: DocId, url: &str) -> Option<CachedDoc> {
-        self.shard(doc).cache.lock().get(url).cloned()
+        self.locked(doc).get(url).cloned()
     }
 
     /// Inserts a document; returns the URLs evicted from its shard.
     pub fn insert(&self, doc: DocId, url: &str, entry: CachedDoc) -> Vec<String> {
-        self.shard(doc).cache.lock().insert(url, entry)
+        self.locked(doc).insert(url, entry)
     }
 
     /// Removes `url`; returns whether it was cached.
     pub fn remove(&self, doc: DocId, url: &str) -> bool {
-        self.shard(doc).cache.lock().remove(url)
+        self.locked(doc).remove(url)
     }
 
     /// Whether `url` is cached (no promotion).
     pub fn contains(&self, doc: DocId, url: &str) -> bool {
-        self.shard(doc).cache.lock().contains(url)
+        self.locked(doc).contains(url)
     }
 
     /// Total body bytes across shards.
@@ -124,6 +152,15 @@ impl ShardedCache {
         self.len() == 0
     }
 
+    /// Hit/miss/eviction statistics merged across shards (for `METRICS`).
+    pub fn stats(&self) -> baps_cache::CacheStats {
+        let mut out = baps_cache::CacheStats::default();
+        for s in &self.shards {
+            out.merge(s.cache.lock().stats());
+        }
+        out
+    }
+
     /// Per-shard occupancy and lock-contention report (for `STATS`).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
@@ -134,6 +171,7 @@ impl ShardedCache {
                     entries: cache.len() as u64,
                     bytes: cache.used(),
                     lock_acquires: s.lock_acquires.load(Ordering::Relaxed),
+                    lock_wait_micros: s.lock_wait_nanos.load(Ordering::Relaxed) / 1_000,
                 }
             })
             .collect()
@@ -143,6 +181,7 @@ impl ShardedCache {
 struct IndexShard {
     index: Mutex<ExactIndex>,
     lock_acquires: AtomicU64,
+    lock_wait_nanos: AtomicU64,
 }
 
 /// An [`ExactIndex`] striped into doc-hashed shards, each behind its own
@@ -160,6 +199,7 @@ impl StripedIndex {
                 .map(|_| IndexShard {
                     index: Mutex::new(ExactIndex::new()),
                     lock_acquires: AtomicU64::new(0),
+                    lock_wait_nanos: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -170,25 +210,27 @@ impl StripedIndex {
         self.shards.len()
     }
 
-    fn shard(&self, doc: DocId) -> &IndexShard {
+    /// Routes to the shard for `doc` and locks it, tallying the
+    /// acquisition and attributing any wait to the shard.
+    fn locked(&self, doc: DocId) -> MutexGuard<'_, ExactIndex> {
         let s = &self.shards[shard_of(doc, self.shards.len())];
         s.lock_acquires.fetch_add(1, Ordering::Relaxed);
-        s
+        lock_timed(&s.index, &s.lock_wait_nanos)
     }
 
     /// Records that `client` now caches `doc`.
     pub fn on_store(&self, client: ClientId, doc: DocId) {
-        self.shard(doc).index.lock().on_store(client, doc);
+        self.locked(doc).on_store(client, doc);
     }
 
     /// Records that `client` evicted `doc`.
     pub fn on_evict(&self, client: ClientId, doc: DocId) {
-        self.shard(doc).index.lock().on_evict(client, doc);
+        self.locked(doc).on_evict(client, doc);
     }
 
     /// All holders of `doc` other than `exclude`, most recent first.
     pub fn lookup_all(&self, doc: DocId, exclude: ClientId) -> Vec<ClientId> {
-        self.shard(doc).index.lock().lookup_all(doc, exclude)
+        self.locked(doc).lookup_all(doc, exclude)
     }
 
     /// Total (client, doc) entries across shards.
@@ -213,6 +255,7 @@ impl StripedIndex {
                 entries: s.index.lock().entries(),
                 bytes: 0,
                 lock_acquires: s.lock_acquires.load(Ordering::Relaxed),
+                lock_wait_micros: s.lock_wait_nanos.load(Ordering::Relaxed) / 1_000,
             })
             .collect()
     }

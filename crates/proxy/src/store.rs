@@ -2,7 +2,7 @@
 //! used by the live proxy and client agents.
 
 use crate::protocol::Body;
-use baps_cache::ByteLru;
+use baps_cache::{ByteLru, CacheStats, Tier};
 use baps_crypto::Watermark;
 use baps_trace::Interner;
 use rand::rngs::StdRng;
@@ -96,6 +96,7 @@ pub struct BodyCache {
     urls: Interner,
     lru: ByteLru<u32>,
     bodies: HashMap<u32, CachedDoc>,
+    stats: CacheStats,
 }
 
 impl BodyCache {
@@ -105,14 +106,23 @@ impl BodyCache {
             urls: Interner::new(),
             lru: ByteLru::new(capacity),
             bodies: HashMap::new(),
+            stats: CacheStats::default(),
         }
     }
 
-    /// Looks up `url`, promoting it on a hit.
+    /// Looks up `url`, promoting it on a hit. Hits and misses are tallied
+    /// in the embedded [`CacheStats`] block (see [`BodyCache::stats`]).
     pub fn get(&mut self, url: &str) -> Option<&CachedDoc> {
-        let id = self.urls.get(url)?;
-        self.lru.touch(&id)?;
-        self.bodies.get(&id)
+        let id = match self.urls.get(url) {
+            Some(id) if self.lru.touch(&id).is_some() => id,
+            _ => {
+                self.stats.record_miss(0);
+                return None;
+            }
+        };
+        let doc = self.bodies.get(&id)?;
+        self.stats.record_hit(doc.body.len() as u64, Tier::Memory);
+        Some(doc)
     }
 
     /// Whether `url` is cached (no promotion).
@@ -128,6 +138,7 @@ impl BodyCache {
         let id = self.urls.intern(url);
         let had_prior = self.lru.contains(&id);
         let out = self.lru.insert(id, doc.body.len() as u64);
+        self.stats.record_insert(&out.evicted);
         let mut evicted: Vec<String> = out
             .evicted
             .into_iter()
@@ -144,10 +155,16 @@ impl BodyCache {
         } else {
             self.bodies.remove(&id);
             if had_prior {
+                self.stats.evictions += 1;
                 evicted.push(url.to_owned());
             }
         }
         evicted
+    }
+
+    /// Access/eviction counters accumulated since construction.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
     }
 
     /// Removes `url`; returns whether it was cached.
@@ -258,6 +275,25 @@ mod tests {
         assert_eq!(evicted, vec!["u2".to_owned()]);
         assert!(c.contains("u1"));
         assert!(!c.contains("u2"));
+    }
+
+    #[test]
+    fn body_cache_stats_track_hits_misses_evictions() {
+        let sg = signer();
+        let mut c = BodyCache::new(25);
+        assert!(c.get("u1").is_none()); // miss
+        c.insert("u1", doc(&sg, &[0u8; 10]));
+        c.insert("u2", doc(&sg, &[0u8; 10]));
+        assert!(c.get("u1").is_some()); // hit
+        c.insert("u3", doc(&sg, &[0u8; 10])); // evicts u2
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.hit_bytes, 10);
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 10);
+        assert_eq!(s.requests(), 2);
     }
 
     #[test]

@@ -374,26 +374,55 @@ fn concurrent_stress_hot_and_disjoint_docs() {
     let hot = "http://origin/doc/0";
     let expected_hot = store.get(hot).unwrap().to_vec();
 
+    let done = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for (i, c) in bed.clients.iter().enumerate() {
-            let expected_hot = expected_hot.clone();
-            let store = &store;
-            scope.spawn(move || {
-                // Each thread interleaves the shared hot doc with its own
-                // disjoint docs (doc/(i*2 mod 16) etc. spread over shards).
-                for round in 0..30 {
-                    let r = c.fetch(hot).unwrap();
-                    assert_eq!(r.body[..], expected_hot[..], "hot doc corrupted");
-                    let own = format!("http://origin/doc/{}", 1 + ((i + round) % 15));
-                    let r = c.fetch(&own).unwrap();
-                    assert_eq!(
-                        r.body[..],
-                        store.get(&own).unwrap()[..],
-                        "disjoint doc corrupted"
-                    );
-                }
-            });
+        let workers: Vec<_> = bed
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let expected_hot = expected_hot.clone();
+                let store = &store;
+                scope.spawn(move || {
+                    // Each thread interleaves the shared hot doc with its
+                    // own disjoint docs (spread over shards).
+                    for round in 0..30 {
+                        let r = c.fetch(hot).unwrap();
+                        assert_eq!(r.body[..], expected_hot[..], "hot doc corrupted");
+                        let own = format!("http://origin/doc/{}", 1 + ((i + round) % 15));
+                        let r = c.fetch(&own).unwrap();
+                        assert_eq!(
+                            r.body[..],
+                            store.get(&own).unwrap()[..],
+                            "disjoint doc corrupted"
+                        );
+                    }
+                })
+            })
+            .collect();
+        // Sampler: snapshots taken *while* the workers hammer the proxy
+        // must balance every time. (Before `ProxyCounters::snapshot` the
+        // STATS path read each counter independently and could observe a
+        // request in `requests` whose outcome counter had not landed yet.)
+        let proxy = &bed.proxy;
+        let done = &done;
+        let sampler = scope.spawn(move || loop {
+            let s = proxy.stats();
+            assert_eq!(
+                s.requests,
+                s.proxy_hits + s.peer_hits + s.origin_fetches + s.errors,
+                "mid-load snapshot tore: {s:?}"
+            );
+            if done.load(std::sync::atomic::Ordering::Acquire) {
+                break;
+            }
+            std::thread::yield_now();
+        });
+        for w in workers {
+            w.join().unwrap();
         }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        sampler.join().unwrap();
     });
 
     // Integrity was verified client-side (watermarks) on every non-local
@@ -502,6 +531,136 @@ fn tamper_mode_matrix_never_yields_wrong_bytes() {
         assert_ne!(r1.source, Source::Peer, "{mode:?}: tampered peer trusted");
         bed.shutdown();
     }
+}
+
+/// Satellite: a client-minted `Trace-Id` must reappear on every hop the
+/// request touches. One request that is served by a peer yields, under the
+/// same trace id, the proxy's peer-probe span and the holder's peer-serve
+/// span; one origin-served request yields the proxy's origin-fetch span
+/// and the origin's own serve span.
+#[test]
+fn trace_id_propagates_across_peer_and_origin_hops() {
+    use baps_obs::{EventKind, TraceId};
+
+    let bed = bed(3, 2_500, 64 << 10);
+    let url0 = "http://origin/doc/0";
+
+    // Origin-served fetch by client 0, then the usual eviction flood so
+    // client 1's fetch of url0 becomes a peer hit served by client 0.
+    bed.clients[0].fetch(url0).unwrap();
+    for i in 1..8 {
+        bed.clients[2]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+    let r1 = bed.clients[1].fetch(url0).unwrap();
+    assert_eq!(r1.source, Source::Peer, "scenario must produce a peer hit");
+
+    let events = bed.recorder.dump();
+    // The whole-fetch span carries the client id, url, and serve tier in
+    // its detail; use it to recover the trace id each fetch minted.
+    let fetch_trace = |detail_needle: &str| -> TraceId {
+        events
+            .iter()
+            .find(|e| e.kind == EventKind::Fetch && e.detail.contains(detail_needle))
+            .unwrap_or_else(|| panic!("no fetch event matching {detail_needle:?}"))
+            .trace
+    };
+    let with_trace = |trace: TraceId, kind: EventKind| -> Vec<&baps_obs::Event> {
+        events
+            .iter()
+            .filter(|e| e.trace == trace && e.kind == kind)
+            .collect()
+    };
+
+    // Client 1's peer-served fetch: the proxy probed under the same trace,
+    // and client 0 served the PEERGET under the same trace.
+    let peer_trace = fetch_trace("client=1 url=http://origin/doc/0 source=peer");
+    assert_ne!(peer_trace, TraceId::NONE);
+    assert!(
+        !with_trace(peer_trace, EventKind::PeerProbe).is_empty(),
+        "proxy peer-probe span missing for {peer_trace}"
+    );
+    let serves = with_trace(peer_trace, EventKind::PeerServe);
+    assert!(
+        serves.iter().any(|e| e.detail.contains("client=0")),
+        "client 0's peer-serve span missing for {peer_trace}: {events:#?}"
+    );
+
+    // Client 0's original origin-served fetch: proxy-side origin-fetch
+    // span and the origin server's own serve span, same trace.
+    let origin_trace = fetch_trace("client=0 url=http://origin/doc/0 source=origin");
+    assert_ne!(origin_trace, TraceId::NONE);
+    assert_ne!(origin_trace, peer_trace, "each fetch mints a fresh trace");
+    assert!(
+        !with_trace(origin_trace, EventKind::OriginFetch).is_empty(),
+        "proxy origin-fetch span missing for {origin_trace}"
+    );
+    assert!(
+        !with_trace(origin_trace, EventKind::OriginServe).is_empty(),
+        "origin serve span missing for {origin_trace}"
+    );
+    bed.shutdown();
+}
+
+/// Tentpole: the `METRICS BAPS/1.0` verb returns a parseable Prometheus
+/// exposition whose counters agree with the `STATS` snapshot and whose
+/// per-tier histogram counts sum to the served-request total.
+#[test]
+fn metrics_verb_exposition_balances() {
+    use baps_obs::prom;
+
+    let bed = bed(2, 64 << 10, 32 << 10);
+    for i in 0..4 {
+        bed.clients[0]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+        bed.clients[1]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+
+    let reply = bed.clients[0].proxy_metrics_raw().unwrap();
+    assert!(reply.get("Content-Type").unwrap().starts_with("text/plain"));
+    let text = String::from_utf8(reply.body.to_vec()).unwrap();
+    let samples = prom::parse(&text).expect("exposition parses");
+    let get = |name: &str, labels: &[(&str, &str)]| {
+        prom::find(&samples, name, labels)
+            .unwrap_or_else(|| panic!("missing {name}{labels:?} in:\n{text}"))
+    };
+
+    let stats = bed.proxy.stats();
+    assert_eq!(get("baps_requests_total", &[]), stats.requests as f64);
+    assert_eq!(
+        get("baps_served_total", &[("tier", "proxy")]),
+        stats.proxy_hits as f64
+    );
+    assert_eq!(
+        get("baps_served_total", &[("tier", "origin")]),
+        stats.origin_fetches as f64
+    );
+    assert_eq!(get("baps_errors_total", &[]), stats.errors as f64);
+
+    // Per-tier latency histogram counts cover exactly the served GETs.
+    let served: f64 = ["proxy", "peer", "origin"]
+        .iter()
+        .map(|t| get("baps_request_latency_ms_count", &[("tier", t)]))
+        .sum();
+    assert_eq!(served, (stats.requests - stats.errors) as f64);
+    // And the verb histogram saw every dispatched GET (keep-alive GETs,
+    // REGISTERs, plus this METRICS scrape are all dispatched verbs).
+    assert!(get("baps_verb_latency_ms_count", &[("verb", "GET")]) >= stats.requests as f64);
+    assert!(get("baps_verb_latency_ms_count", &[("verb", "METRICS")]) >= 0.0);
+
+    // Shard gauges: per-shard cache bytes sum to the aggregate gauge.
+    let cache_bytes = get("baps_cache_bytes", &[]);
+    let shard_sum: f64 = samples
+        .iter()
+        .filter(|s| s.name == "baps_cache_shard_bytes")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(shard_sum, cache_bytes);
+    bed.shutdown();
 }
 
 #[test]

@@ -1,199 +1,9 @@
-//! Log-scaled latency histogram for per-request service times.
+//! Log-scaled latency histogram — re-exported from [`baps_obs`].
 //!
-//! The paper's §5 argues about *aggregate* service time; a distributional
-//! view (p50/p90/p99 per hit class) shows where the browsers-aware design
-//! helps and what the 0.1 s peer-connection setup costs. Buckets are
-//! log-spaced (about 18 per decade) so microsecond memory hits and
-//! multi-second WAN fetches fit in one compact structure with bounded
-//! relative error (~±6%).
+//! The histogram used to live here; it moved to `baps-obs` so the offline
+//! simulator, the live runtime's `METRICS` verb, and the benchmark
+//! binaries all report latency through the identical bucket layout (18
+//! buckets per decade over 1e-4..1e5 ms). This module remains so existing
+//! `baps_sim::histo::LatencyHistogram` imports keep working.
 
-use serde::{Deserialize, Serialize};
-
-/// Buckets per decade (relative resolution ≈ 10^(1/18) − 1 ≈ 13.6%, i.e.
-/// quantile estimates within about ±7%).
-const BUCKETS_PER_DECADE: f64 = 18.0;
-/// Smallest representable latency, ms (everything below lands in bucket 0).
-const MIN_MS: f64 = 1e-4;
-/// Number of buckets: spans 1e-4 .. 1e5 ms (9 decades).
-const NBUCKETS: usize = (9.0 * BUCKETS_PER_DECADE) as usize + 2;
-
-/// A fixed-size log-scaled histogram of millisecond latencies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_ms: f64,
-    max_ms: f64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; NBUCKETS],
-            total: 0,
-            sum_ms: 0.0,
-            max_ms: 0.0,
-        }
-    }
-
-    fn bucket(ms: f64) -> usize {
-        if ms <= MIN_MS {
-            return 0;
-        }
-        let idx = ((ms / MIN_MS).log10() * BUCKETS_PER_DECADE).floor() as usize + 1;
-        idx.min(NBUCKETS - 1)
-    }
-
-    /// Lower edge of a bucket, ms.
-    fn bucket_value(idx: usize) -> f64 {
-        if idx == 0 {
-            return MIN_MS;
-        }
-        MIN_MS * 10f64.powf((idx - 1) as f64 / BUCKETS_PER_DECADE)
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, ms: f64) {
-        debug_assert!(ms.is_finite() && ms >= 0.0);
-        self.counts[Self::bucket(ms)] += 1;
-        self.total += 1;
-        self.sum_ms += ms;
-        self.max_ms = self.max_ms.max(ms);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean latency, ms (0 when empty).
-    pub fn mean_ms(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_ms / self.total as f64
-        }
-    }
-
-    /// Maximum observed latency, ms.
-    pub fn max_ms(&self) -> f64 {
-        self.max_ms
-    }
-
-    /// Approximate quantile (`q` in [0, 1]), ms. Returns 0 when empty.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q));
-        if self.total == 0 {
-            return 0.0;
-        }
-        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_value(idx);
-            }
-        }
-        self.max_ms
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ms += other.sum_ms;
-        self.max_ms = self.max_ms.max(other.max_ms);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ms(), 0.0);
-        assert_eq!(h.quantile_ms(0.5), 0.0);
-    }
-
-    #[test]
-    fn mean_and_max_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in [1.0, 2.0, 3.0] {
-            h.record(v);
-        }
-        assert!((h.mean_ms() - 2.0).abs() < 1e-12);
-        assert_eq!(h.max_ms(), 3.0);
-        assert_eq!(h.count(), 3);
-    }
-
-    #[test]
-    fn quantiles_within_relative_error() {
-        let mut h = LatencyHistogram::new();
-        // 1..=1000 ms uniform.
-        for i in 1..=1000 {
-            h.record(i as f64);
-        }
-        for (q, expect) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
-            let got = h.quantile_ms(q);
-            let rel = (got - expect).abs() / expect;
-            assert!(rel < 0.15, "q{q}: got {got}, expect {expect}");
-        }
-    }
-
-    #[test]
-    fn spans_nine_decades() {
-        let mut h = LatencyHistogram::new();
-        h.record(0.0002); // memory hit territory
-        h.record(15_000.0); // slow WAN fetch
-        assert!(h.quantile_ms(0.01) < 0.001);
-        assert!(h.quantile_ms(1.0) >= 10_000.0);
-    }
-
-    #[test]
-    fn below_min_clamps_to_first_bucket() {
-        let mut h = LatencyHistogram::new();
-        h.record(0.0);
-        h.record(1e-9);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ms(1.0) <= MIN_MS * 2.0);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(10.0);
-        b.record(1000.0);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.max_ms() == 1000.0);
-        assert!(a.quantile_ms(0.25) < 20.0);
-        assert!(a.quantile_ms(1.0) > 500.0);
-    }
-
-    #[test]
-    fn monotone_quantiles() {
-        let mut h = LatencyHistogram::new();
-        for i in 0..5000 {
-            h.record((i % 97) as f64 + 0.1);
-        }
-        let mut prev = 0.0;
-        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let v = h.quantile_ms(q);
-            assert!(v >= prev, "quantiles must be monotone");
-            prev = v;
-        }
-    }
-}
+pub use baps_obs::hist::{LatencyHistogram, BUCKETS_PER_DECADE, MIN_MS, NBUCKETS};

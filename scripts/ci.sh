@@ -22,6 +22,14 @@ echo "== chaos soak (fixed seed)"
 # on any invariant violation.
 cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
 
+echo "== metrics smoke (METRICS exposition + recording-overhead gate)"
+# Scrapes METRICS BAPS/1.0 over the wire under load and asserts the
+# exposition parses, requests_total = served-by-tier + errors, and the
+# tier histogram counts agree with the counters; then A/Bs recording
+# on/off (median of paired rounds, one re-measure on a noisy first
+# reading) and fails the build if always-on recording costs >3%.
+cargo run --release -q -p baps-bench --bin live_load -- --smoke 8000 64
+
 echo "== live_load thread-scaling sweep (non-gating perf smoke)"
 # Scaled-down sweep to catch serialization collapses (a global lock or an
 # undersized downstream pool shows up as a multiple, not a percentage).
