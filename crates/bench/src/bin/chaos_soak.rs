@@ -17,10 +17,17 @@
 //!    the whole schedule finishes inside a wall-clock budget (no
 //!    deadlocks, no unbounded retry loops).
 //! 3. **Counter balance** — at the proxy,
-//!    `requests == proxy_hits + peer_hits + origin_fetches + errors`.
+//!    `requests == proxy_hits + disk_hits + peer_hits + origin_fetches +
+//!    errors`.
 //! 4. **Determinism** — run twice (unless `--once`), the two runs inject
 //!    identical per-kind fault counts and observe identical per-source
 //!    outcome tallies.
+//! 5. **Warm restart** (`--restart-warm`) — the proxy runs with a
+//!    persistent disk tier and is fully restarted in place halfway through
+//!    the schedule. The restarted proxy must re-open its store non-empty
+//!    and serve disk hits afterwards, its counters must stay monotonic
+//!    across the restart, and every post-restart body is still byte-exact
+//!    (invariant 1 keeps applying).
 //!
 //! On any violation the binary dumps the deployment's flight-recorder
 //! ring (the last ~8k span events before the violation, trace ids
@@ -31,7 +38,7 @@
 //! ```text
 //! cargo run --release -p baps-bench --bin chaos_soak -- \
 //!     [--seed N] [--requests N] [--clients N] [--docs N] \
-//!     [--intensity F] [--direct] [--once]
+//!     [--intensity F] [--direct] [--once] [--restart-warm]
 //! ```
 
 use baps_obs::{EventKind, TraceId};
@@ -58,6 +65,7 @@ struct SoakArgs {
     intensity: f64,
     direct: bool,
     once: bool,
+    restart_warm: bool,
 }
 
 impl Default for SoakArgs {
@@ -70,6 +78,7 @@ impl Default for SoakArgs {
             intensity: 1.0,
             direct: false,
             once: false,
+            restart_warm: false,
         }
     }
 }
@@ -78,7 +87,7 @@ impl SoakArgs {
     fn repro_line(&self) -> String {
         format!(
             "cargo run --release -p baps-bench --bin chaos_soak -- \
-             --seed {} --requests {} --clients {} --docs {} --intensity {}{}{}",
+             --seed {} --requests {} --clients {} --docs {} --intensity {}{}{}{}",
             self.seed,
             self.requests,
             self.clients,
@@ -86,6 +95,11 @@ impl SoakArgs {
             self.intensity,
             if self.direct { " --direct" } else { "" },
             if self.once { " --once" } else { "" },
+            if self.restart_warm {
+                " --restart-warm"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -95,6 +109,7 @@ impl SoakArgs {
 struct Tally {
     local: u64,
     proxy: u64,
+    disk: u64,
     peer: u64,
     origin: u64,
     failed: u64,
@@ -102,7 +117,7 @@ struct Tally {
 
 impl Tally {
     fn successes(&self) -> u64 {
-        self.local + self.proxy + self.peer + self.origin
+        self.local + self.proxy + self.disk + self.peer + self.origin
     }
 }
 
@@ -111,6 +126,7 @@ struct SoakReport {
     faults: FaultCounts,
     proxy_requests: u64,
     proxy_hits: u64,
+    disk_hits: u64,
     peer_hits: u64,
     origin_fetches: u64,
     peer_fallbacks: u64,
@@ -131,7 +147,14 @@ fn violate(bed: &TestBed, violations: &mut Vec<String>, msg: String) {
     violations.push(msg);
 }
 
-fn run_soak(args: SoakArgs) -> SoakReport {
+fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
+    // Each run gets its own disk root so the determinism pair compares two
+    // cold starts, not a cold one against a pre-warmed one.
+    let disk_root = args.restart_warm.then(|| {
+        let dir = std::env::temp_dir().join(format!("baps_chaos_{}_run{}", args.seed, run));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
     let store = DocumentStore::synthetic(args.docs, 256, 2048, args.seed);
     // Ground truth: what every fetch must return, byte for byte.
     let expected: HashMap<String, Vec<u8>> = (0..args.docs)
@@ -146,7 +169,7 @@ fn run_soak(args: SoakArgs) -> SoakReport {
         args.seed,
         FaultConfig::chaos(args.intensity),
     ));
-    let bed = TestBed::start(
+    let mut bed = TestBed::start(
         store,
         TestBedConfig {
             n_clients: args.clients,
@@ -165,10 +188,16 @@ fn run_soak(args: SoakArgs) -> SoakReport {
             origin_timeout: Duration::from_millis(200),
             origin_retries: 1,
             fault_plan: Some(Arc::clone(&plan)),
+            disk_root: disk_root.clone(),
             ..TestBedConfig::default()
         },
     )
     .expect("test bed starts");
+    // With --restart-warm one *full* proxy restart (process-equivalent:
+    // workers stopped, memory cache and index lost, disk tier and counter
+    // baseline re-opened) lands deterministically at mid-schedule.
+    let restart_at = args.restart_warm.then_some(args.requests / 2);
+    let mut disk_hits_at_restart = 0;
 
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed_5eed);
     let mut tally = Tally::default();
@@ -180,6 +209,31 @@ fn run_soak(args: SoakArgs) -> SoakReport {
         // request tick.
         if plan.restart_due() {
             bed.proxy.drop_connections();
+        }
+        if restart_at == Some(r) {
+            let before = bed.proxy.stats();
+            disk_hits_at_restart = before.disk_hits;
+            bed.restart_proxy().expect("proxy restarts in place");
+            let entries = bed.proxy.disk_stats().map_or(0, |d| d.entries);
+            if entries == 0 {
+                violate(
+                    &bed,
+                    &mut violations,
+                    format!("request {r}: restarted proxy re-opened an empty disk tier"),
+                );
+            }
+            let after = bed.proxy.stats();
+            if after.requests < before.requests {
+                violate(
+                    &bed,
+                    &mut violations,
+                    format!(
+                        "request {r}: counters regressed across restart \
+                         ({} -> {} requests)",
+                        before.requests, after.requests
+                    ),
+                );
+            }
         }
         let client = &bed.clients[rng.gen_range(0..args.clients as usize)];
         let doc = rng.gen_range(0..args.docs);
@@ -212,6 +266,7 @@ fn run_soak(args: SoakArgs) -> SoakReport {
                 match res.source {
                     Source::LocalBrowser => tally.local += 1,
                     Source::Proxy => tally.proxy += 1,
+                    Source::ProxyDisk => tally.disk += 1,
                     Source::Peer => tally.peer += 1,
                     Source::Origin => tally.origin += 1,
                 }
@@ -237,18 +292,35 @@ fn run_soak(args: SoakArgs) -> SoakReport {
     let wall = t0.elapsed();
 
     let stats = bed.proxy.stats();
-    if stats.requests != stats.proxy_hits + stats.peer_hits + stats.origin_fetches + stats.errors {
+    if stats.requests
+        != stats.proxy_hits
+            + stats.disk_hits
+            + stats.peer_hits
+            + stats.origin_fetches
+            + stats.errors
+    {
         violate(
             &bed,
             &mut violations,
             format!(
-                "proxy counter imbalance: requests {} != proxy_hits {} + peer_hits {} \
-                 + origin_fetches {} + errors {}",
+                "proxy counter imbalance: requests {} != proxy_hits {} + disk_hits {} \
+                 + peer_hits {} + origin_fetches {} + errors {}",
                 stats.requests,
                 stats.proxy_hits,
+                stats.disk_hits,
                 stats.peer_hits,
                 stats.origin_fetches,
                 stats.errors
+            ),
+        );
+    }
+    if args.restart_warm && stats.disk_hits <= disk_hits_at_restart {
+        violate(
+            &bed,
+            &mut violations,
+            format!(
+                "no warm-restart disk hits: {} at restart, {} at end",
+                disk_hits_at_restart, stats.disk_hits
             ),
         );
     }
@@ -278,11 +350,15 @@ fn run_soak(args: SoakArgs) -> SoakReport {
     let faults = plan.counts();
     let recorder_dump = (!violations.is_empty()).then(|| bed.recorder.render());
     bed.shutdown();
+    if let Some(dir) = disk_root {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     SoakReport {
         tally,
         faults,
         proxy_requests: stats.requests,
         proxy_hits: stats.proxy_hits,
+        disk_hits: stats.disk_hits,
         peer_hits: stats.peer_hits,
         origin_fetches: stats.origin_fetches,
         peer_fallbacks: stats.peer_fallbacks,
@@ -304,15 +380,22 @@ fn print_report(label: &str, args: SoakArgs, r: &SoakReport) {
         args.intensity,
         if args.direct { ", direct-forward" } else { "" },
     );
+    if args.restart_warm {
+        println!(
+            "restart  : full proxy restart at request {}",
+            args.requests / 2
+        );
+    }
     println!(
-        "outcomes : local {} | proxy {} | peer {} | origin {} | degraded-errors {}",
-        r.tally.local, r.tally.proxy, r.tally.peer, r.tally.origin, r.tally.failed
+        "outcomes : local {} | proxy {} | disk {} | peer {} | origin {} | degraded-errors {}",
+        r.tally.local, r.tally.proxy, r.tally.disk, r.tally.peer, r.tally.origin, r.tally.failed
     );
     println!(
-        "proxy    : requests {} = proxy_hits {} + peer_hits {} + origin_fetches {} + errors {} \
-         (peer_fallbacks {})",
+        "proxy    : requests {} = proxy_hits {} + disk_hits {} + peer_hits {} \
+         + origin_fetches {} + errors {} (peer_fallbacks {})",
         r.proxy_requests,
         r.proxy_hits,
+        r.disk_hits,
         r.peer_hits,
         r.origin_fetches,
         r.proxy_errors,
@@ -326,7 +409,7 @@ fn parse_args() -> SoakArgs {
     let mut out = SoakArgs::default();
     let mut args = std::env::args().skip(1);
     let usage = "usage: chaos_soak [--seed N] [--requests N] [--clients N] [--docs N] \
-                 [--intensity F] [--direct] [--once]";
+                 [--intensity F] [--direct] [--once] [--restart-warm]";
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next().unwrap_or_else(|| {
@@ -344,6 +427,7 @@ fn parse_args() -> SoakArgs {
             }
             "--direct" => out.direct = true,
             "--once" => out.once = true,
+            "--restart-warm" => out.restart_warm = true,
             other => {
                 eprintln!("unknown flag {other:?}\n{usage}");
                 std::process::exit(2);
@@ -378,14 +462,14 @@ fn main() {
         args.requests, args.seed
     );
 
-    let first = run_soak(args);
+    let first = run_soak(args, 1);
     print_report("run 1", args, &first);
     if !first.violations.is_empty() {
         fail(args, &first.violations, first.recorder_dump.as_deref());
     }
 
     if !args.once {
-        let second = run_soak(args);
+        let second = run_soak(args, 2);
         println!();
         print_report("run 2", args, &second);
         if !second.violations.is_empty() {

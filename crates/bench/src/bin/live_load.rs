@@ -166,7 +166,7 @@ fn summarize_metrics(text: &str) {
             .unwrap_or_else(|| panic!("exposition is missing {name}{labels:?}"))
     };
     let requests = get("baps_requests_total", &[]);
-    let by_tier: f64 = ["proxy", "peer", "origin"]
+    let by_tier: f64 = ["proxy", "disk", "peer", "origin"]
         .iter()
         .map(|t| get("baps_served_total", &[("tier", t)]))
         .sum();
@@ -178,7 +178,7 @@ fn summarize_metrics(text: &str) {
     );
     // Counter/histogram agreement: every successfully served GET records
     // exactly one latency observation in its tier's histogram.
-    let histo_count: f64 = ["local", "proxy", "peer", "origin"]
+    let histo_count: f64 = ["local", "proxy", "disk", "peer", "origin"]
         .iter()
         .map(|t| {
             prom::find(&samples, "baps_request_latency_ms_count", &[("tier", t)])
@@ -195,7 +195,7 @@ fn summarize_metrics(text: &str) {
         samples.len()
     );
     println!("proxy-side serve latency (from baps_request_latency_ms):");
-    for tier in ["local", "proxy", "peer", "origin"] {
+    for tier in ["local", "proxy", "disk", "peer", "origin"] {
         let labels = [("tier", tier)];
         let count =
             prom::find(&samples, "baps_request_latency_ms_count", &labels).unwrap_or_default();
@@ -295,6 +295,7 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     }
 
     let overhead = measure_overhead(n_docs);
+    let disk = measure_disk_tier(total, n_docs);
 
     // The in-tree serde shim is a no-op, so the JSON is rendered by hand.
     let mut json = String::new();
@@ -325,6 +326,28 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"disk_tier\": {\n");
+    let _ = writeln!(json, "    \"workers\": {OVERHEAD_WORKERS},");
+    let _ = writeln!(json, "    \"req_per_sec\": {:.1},", disk.req_per_sec);
+    let _ = writeln!(json, "    \"disk_hits\": {},", disk.disk_hits);
+    let _ = writeln!(json, "    \"disk_writes\": {},", disk.disk_writes);
+    let _ = writeln!(json, "    \"disk_entries\": {},", disk.disk_entries);
+    let _ = writeln!(
+        json,
+        "    \"post_restart_req_per_sec\": {:.1},",
+        disk.post_restart_req_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"post_restart_disk_hits\": {},",
+        disk.post_restart_disk_hits
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_restart\": {}",
+        disk.post_restart_disk_hits > 0
+    );
+    json.push_str("  },\n");
     json.push_str("  \"observability_overhead\": {\n");
     let _ = writeln!(json, "    \"workers\": {OVERHEAD_WORKERS},");
     let _ = writeln!(json, "    \"paired_slices\": {OVERHEAD_PAIRS},");
@@ -452,12 +475,19 @@ fn measure_overhead(n_docs: usize) -> Overhead {
         "\nobservability overhead ({OVERHEAD_WORKERS} workers, trimmed mean of {OVERHEAD_PAIRS} interleaved on/off slice pairs):"
     );
     let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
+    // The disk tier is configured so its bookkeeping is live, but the
+    // memory cache holds the whole corpus: the A/B prices always-on
+    // recording (plus disk bookkeeping) on the in-memory hot path, not
+    // disk I/O.
+    let disk_root = std::env::temp_dir().join(format!("baps_live_overhead_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_root);
     let bed = TestBed::start(
         store,
         TestBedConfig {
             n_clients: OVERHEAD_WORKERS,
             proxy_capacity: 256 << 10,
             browser_capacity: 4 << 10,
+            disk_root: Some(disk_root.clone()),
             ..TestBedConfig::default()
         },
     )
@@ -485,6 +515,7 @@ fn measure_overhead(n_docs: usize) -> Overhead {
         rounds.push((on, off));
     }
     bed.shutdown();
+    let _ = std::fs::remove_dir_all(&disk_root);
 
     let overhead = Overhead { rounds };
     println!(
@@ -494,6 +525,92 @@ fn measure_overhead(n_docs: usize) -> Overhead {
         overhead.delta_pct(),
     );
     overhead
+}
+
+/// Disk-tier point for `BENCH_live.json`.
+struct DiskReport {
+    req_per_sec: f64,
+    disk_hits: u64,
+    disk_writes: u64,
+    disk_entries: u64,
+    post_restart_req_per_sec: f64,
+    post_restart_disk_hits: u64,
+}
+
+/// Measures the persistent disk tier under load: a deployment whose
+/// memory cache is deliberately smaller than the corpus (so misses spill
+/// to disk and some GETs serve from it), then a full in-place proxy
+/// restart followed by a second driven phase — the post-restart disk-hit
+/// count is the warm-restart evidence recorded in the JSON.
+fn measure_disk_tier(total: u32, n_docs: usize) -> DiskReport {
+    println!("\ndisk tier ({OVERHEAD_WORKERS} workers, memory cache under-sized, one mid-point proxy restart):");
+    let disk_root = std::env::temp_dir().join(format!("baps_live_disk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_root);
+    let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
+    let mut bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: OVERHEAD_WORKERS,
+            // Holds only a fraction of the corpus: memory misses spill to
+            // the disk tier instead of always refetching from the origin.
+            proxy_capacity: 16 << 10,
+            browser_capacity: 4 << 10,
+            disk_root: Some(disk_root.clone()),
+            disk_capacity: 8 << 20,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+    let per_client = (total / OVERHEAD_WORKERS).max(1);
+    let phase = |bed: &TestBed, salt: u64| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for (i, client) in bed.clients.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(salt ^ i as u64);
+                    for _ in 0..per_client {
+                        let doc = rng.gen_range(0..n_docs);
+                        let url = format!("http://origin/doc/{doc}");
+                        client.fetch(&url).expect("fetch succeeds under load");
+                    }
+                });
+            }
+        });
+        (per_client as u64 * bed.clients.len() as u64) as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    let req_per_sec = phase(&bed, 0xd15c);
+    let stats = bed.proxy.stats();
+    let dstats = bed.proxy.disk_stats().expect("disk tier configured");
+    bed.restart_proxy().expect("proxy restarts in place");
+    let post_restart_req_per_sec = phase(&bed, 0xd15c ^ 0xffff);
+    let post = bed.proxy.stats();
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&disk_root);
+
+    let report = DiskReport {
+        req_per_sec,
+        disk_hits: stats.disk_hits,
+        disk_writes: dstats.writes,
+        disk_entries: dstats.entries,
+        post_restart_req_per_sec,
+        post_restart_disk_hits: post.disk_hits.saturating_sub(stats.disk_hits),
+    };
+    println!(
+        "pre-restart  {:>9.0} req/s   disk hits {}   writes {}   entries {}",
+        report.req_per_sec, report.disk_hits, report.disk_writes, report.disk_entries
+    );
+    println!(
+        "post-restart {:>9.0} req/s   disk hits {}   (warm restart: {})",
+        report.post_restart_req_per_sec,
+        report.post_restart_disk_hits,
+        if report.post_restart_disk_hits > 0 {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    report
 }
 
 /// CI smoke: scrape `METRICS BAPS/1.0` under load (parse + balance

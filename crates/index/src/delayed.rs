@@ -150,7 +150,9 @@ impl DelayedIndex {
         for op in ops {
             match op {
                 PendingOp::Store(doc) => self.published.on_store(client, doc),
-                PendingOp::Evict(doc) => self.published.on_evict(client, doc),
+                PendingOp::Evict(doc) => {
+                    self.published.on_evict(client, doc);
+                }
             }
         }
     }

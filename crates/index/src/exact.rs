@@ -43,18 +43,24 @@ impl ExactIndex {
         self.stats.updates += 1;
     }
 
-    /// Records that `client` evicted `doc`.
-    pub fn on_evict(&mut self, client: ClientId, doc: DocId) {
+    /// Records that `client` evicted `doc`. Returns whether an entry was
+    /// actually removed — `false` means the notice was stale (already
+    /// applied, or the index never held it), which lets callers treat
+    /// replayed eviction notices idempotently.
+    pub fn on_evict(&mut self, client: ClientId, doc: DocId) -> bool {
+        let mut removed = false;
         if let Some(list) = self.holders.get_mut(&doc) {
             if let Some(pos) = list.iter().position(|&c| c == client) {
                 list.remove(pos);
                 self.entries -= 1;
+                removed = true;
                 if list.is_empty() {
                     self.holders.remove(&doc);
                 }
             }
         }
         self.stats.updates += 1;
+        removed
     }
 
     /// Returns the preferred holder of `doc` other than `exclude`

@@ -152,7 +152,9 @@ impl AnyIndex {
     /// Records that `client` evicted `doc`.
     pub fn on_evict(&mut self, client: ClientId, doc: DocId) {
         match self {
-            AnyIndex::Exact(i) => i.on_evict(client, doc),
+            AnyIndex::Exact(i) => {
+                i.on_evict(client, doc);
+            }
             AnyIndex::Delayed(i) => i.on_evict(client, doc),
             AnyIndex::Bloom(i) => i.on_evict(client, doc),
             AnyIndex::Counting(i) => i.on_evict(client, doc),

@@ -231,8 +231,10 @@ impl AtomicHistogram {
 pub enum Tier {
     /// The requester's own browser cache.
     Local,
-    /// The proxy cache.
+    /// The proxy's in-memory cache.
     Proxy,
+    /// The proxy's persistent disk tier (probed after a memory miss).
+    Disk,
     /// Another client's browser cache.
     Peer,
     /// The origin server.
@@ -240,7 +242,7 @@ pub enum Tier {
 }
 
 /// Label values for [`Tier`], indexable by [`Tier::index`].
-pub const TIER_NAMES: [&str; 4] = ["local", "proxy", "peer", "origin"];
+pub const TIER_NAMES: [&str; 5] = ["local", "proxy", "disk", "peer", "origin"];
 
 impl Tier {
     /// Position in [`TIER_NAMES`] / a [`LabeledHistograms`] built over it.
@@ -248,7 +250,7 @@ impl Tier {
         self as usize
     }
 
-    /// The label value (`local` / `proxy` / `peer` / `origin`).
+    /// The label value (`local` / `proxy` / `disk` / `peer` / `origin`).
     pub fn name(self) -> &'static str {
         TIER_NAMES[self.index()]
     }
@@ -439,15 +441,23 @@ mod tests {
     fn labeled_histograms_route_by_index() {
         let lh = LabeledHistograms::new(&TIER_NAMES);
         lh.record(Tier::Proxy.index(), Duration::from_millis(3));
+        lh.record(Tier::Disk.index(), Duration::from_millis(9));
         lh.record(Tier::Origin.index(), Duration::from_millis(40));
         lh.record(Tier::Origin.index(), Duration::from_millis(50));
         assert_eq!(lh.snapshot(Tier::Proxy.index()).count(), 1);
+        assert_eq!(lh.snapshot(Tier::Disk.index()).count(), 1);
         assert_eq!(lh.snapshot(Tier::Origin.index()).count(), 2);
         assert_eq!(lh.snapshot(Tier::Local.index()).count(), 0);
         let by_label: Vec<_> = lh.iter().map(|(l, h)| (l, h.count())).collect();
         assert_eq!(
             by_label,
-            vec![("local", 0), ("proxy", 1), ("peer", 0), ("origin", 2)]
+            vec![
+                ("local", 0),
+                ("proxy", 1),
+                ("disk", 1),
+                ("peer", 0),
+                ("origin", 2)
+            ]
         );
     }
 }

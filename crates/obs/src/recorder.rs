@@ -54,6 +54,10 @@ pub enum EventKind {
     Deliver,
     /// Proxy: an INVALIDATE was applied (cache purge + index drop).
     Invalidate,
+    /// Proxy: a disk-tier read (verify included; outcome in the detail).
+    DiskRead,
+    /// Proxy: a disk-tier write (write-through after an origin fetch).
+    DiskWrite,
     /// An invariant violation (chaos soak, live test); always recorded.
     Violation,
 }
@@ -73,6 +77,8 @@ impl EventKind {
             EventKind::Verify => "verify",
             EventKind::Deliver => "deliver",
             EventKind::Invalidate => "invalidate",
+            EventKind::DiskRead => "disk-read",
+            EventKind::DiskWrite => "disk-write",
             EventKind::Violation => "VIOLATION",
         }
     }

@@ -103,8 +103,10 @@ impl Default for ClientConfig {
 pub enum Source {
     /// The client's own browser cache.
     LocalBrowser,
-    /// The proxy cache.
+    /// The proxy's in-memory cache.
     Proxy,
+    /// The proxy's persistent disk tier (a warm-restart or spill hit).
+    ProxyDisk,
     /// Another client's browser cache (mediated by the proxy).
     Peer,
     /// The origin server.
@@ -454,6 +456,7 @@ impl ClientAgent {
                             let tier = match got.source {
                                 Source::LocalBrowser => Tier::Local,
                                 Source::Proxy => Tier::Proxy,
+                                Source::ProxyDisk => Tier::Disk,
                                 Source::Peer => Tier::Peer,
                                 Source::Origin => Tier::Origin,
                             };
@@ -522,8 +525,11 @@ impl ClientAgent {
             Ok(reply) => reply,
             Err(e) => {
                 // The notices may not have reached the proxy: requeue them
-                // (invalidation is idempotent, so a duplicate is harmless).
-                self.pending_evictions.lock().extend(notices);
+                // exactly once. The proxy's invalidation handling is
+                // idempotent too (a replayed notice is counted as stale),
+                // but deduplicating here keeps the queue bounded when the
+                // same request fails repeatedly.
+                self.requeue_evictions(notices);
                 return Err(e);
             }
         };
@@ -542,6 +548,7 @@ impl ClientAgent {
         }
         let source = match reply.get("X-Source") {
             Some("proxy") => Source::Proxy,
+            Some("disk") => Source::ProxyDisk,
             Some("peer") => Source::Peer,
             Some("origin") => Source::Origin,
             Some("peer-direct") => {
@@ -556,7 +563,7 @@ impl ClientAgent {
                     .ok_or(ProxyError::DeliveryTimeout)?;
                 self.verify_traced(trace, url, &doc.body, &doc.watermark)?;
                 let evicted = self.state.cache.lock().insert(url, doc.clone());
-                self.pending_evictions.lock().extend(evicted);
+                self.note_stored(url, evicted);
                 return Ok(FetchResult {
                     body: doc.body,
                     source: Source::Peer,
@@ -579,11 +586,45 @@ impl ClientAgent {
                 watermark,
             },
         );
-        self.pending_evictions.lock().extend(evicted);
+        self.note_stored(url, evicted);
         Ok(FetchResult {
             body: reply.body,
             source,
         })
+    }
+
+    /// Reconciles the pending-eviction queue after storing `url` in the
+    /// browser cache: a queued notice for `url` itself is now stale (this
+    /// client holds the document again, and the proxy re-indexed it when
+    /// serving) and is cancelled, and the insert's victims are queued
+    /// exactly once even when a replayed requeue already listed them.
+    fn note_stored(&self, url: &str, evicted: Vec<String>) {
+        let mut pending = self.pending_evictions.lock();
+        pending.retain(|u| u != url);
+        for victim in evicted {
+            if victim != url && !pending.contains(&victim) {
+                pending.push(victim);
+            }
+        }
+    }
+
+    /// Puts notices back on the queue after a failed request, skipping any
+    /// that a concurrent fetch already re-queued.
+    fn requeue_evictions(&self, notices: Vec<String>) {
+        if notices.is_empty() {
+            return;
+        }
+        let mut pending = self.pending_evictions.lock();
+        for url in notices {
+            if !pending.contains(&url) {
+                pending.push(url);
+            }
+        }
+    }
+
+    /// Test hook: the eviction notices queued to ride the next GET.
+    pub fn pending_eviction_notices(&self) -> Vec<String> {
+        self.pending_evictions.lock().clone()
     }
 
     /// §6.1 watermark verification wrapped in a `verify` span.
@@ -709,6 +750,19 @@ impl ClientAgent {
                 *guard = None;
                 self.reconnects.fetch_add(1, Ordering::Relaxed);
                 let mut conn = self.dial_traced(trace, "reconnect")?;
+                // A dropped connection may mean the proxy restarted and
+                // lost its in-memory registrations: re-introduce this
+                // client's peer port before replaying, so peer fetches
+                // keep finding it. REGISTER is idempotent — against a
+                // merely-reaped connection it just refreshes the address.
+                if !matches!(msg.tokens().first(), Some(&"REGISTER")) {
+                    let reg = Message::new(format!("REGISTER {} BAPS/1.0", self.peer_addr.port()))
+                        .header("Client", self.id.to_string());
+                    match conn.exchange(&reg)? {
+                        Some(reply) if response_code(&reply) == Some(status::OK) => {}
+                        _ => return Err(hung_up()),
+                    }
+                }
                 let reply = conn.exchange(msg)?.ok_or_else(hung_up)?;
                 *guard = Some(conn);
                 Ok(reply)

@@ -10,6 +10,12 @@
 //! The [`TestBed`] harness wires a full deployment onto ephemeral ports for
 //! the integration tests and the `live_proxy` example.
 //!
+//! The proxy cache is optionally two-tiered: a crash-safe persistent
+//! [`DiskTier`] (DESIGN.md §10) sits beneath the sharded memory LRU, so a
+//! restarted proxy re-opens its store and comes back warm, with TTL
+//! freshness + `If-Digest` revalidation and watermark verification on
+//! every disk read (torn files self-heal to the origin path).
+//!
 //! Observability (DESIGN.md §9) is built in: per-request `Trace-Id`s
 //! propagate across every hop, spans land in a deployment-wide
 //! [`baps_obs::FlightRecorder`], latencies in per-tier and per-verb
@@ -19,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod disk;
 pub mod error;
 pub mod fault;
 mod metrics;
@@ -31,6 +38,7 @@ pub mod shard;
 pub mod store;
 
 pub use client::{ClientAgent, ClientConfig, FetchResult, Source, TamperMode};
+pub use disk::{DiskConfig, DiskStats, DiskTier};
 pub use error::ProxyError;
 pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;

@@ -3,10 +3,15 @@
 //! One scrape covers the whole proxy: request counters (from the same
 //! consistent [`ProxyCounters::snapshot`](crate::proxy::ProxyCounters) the
 //! `STATS` verb reads, so `baps_requests_total` always equals the sum of
-//! `baps_served_total` + `baps_errors_total`), cache and index occupancy
-//! with per-shard gauges, the per-tier and per-verb latency histograms,
-//! and the flight recorder's fill level. The exposition format and bucket
-//! layout are documented in DESIGN.md §9.
+//! `baps_served_total` + `baps_errors_total`), cache, disk-tier, and
+//! index occupancy with per-shard gauges, the per-tier and per-verb
+//! latency histograms, and the flight recorder's fill level. The
+//! exposition format and bucket layout are documented in DESIGN.md §9.
+//!
+//! All `baps_*_total` series are **restart-surviving**: the snapshot
+//! folds in the counter baseline persisted beside the disk tier, so a
+//! scraper sees monotonic counters across a proxy restart instead of a
+//! reset to zero (DESIGN.md §10).
 
 use crate::proxy::ProxyState;
 use baps_obs::prom::PromText;
@@ -15,10 +20,10 @@ use baps_obs::prom::PromText;
 pub(crate) fn render(state: &ProxyState) -> String {
     let mut out = PromText::new();
 
-    // Request counters: one consistent snapshot, so the balance identity
-    // requests == proxy_hits + peer_hits + origin_fetches + errors holds
-    // inside every scrape.
-    let s = state.counters.snapshot();
+    // Request counters: one consistent snapshot (baseline included), so
+    // the balance identity requests == proxy_hits + disk_hits + peer_hits
+    // + origin_fetches + errors holds inside every scrape.
+    let s = state.stats();
     out.counter(
         "baps_requests_total",
         "GET requests completed (sum of served tiers plus errors).",
@@ -34,6 +39,7 @@ pub(crate) fn render(state: &ProxyState) -> String {
         &[("tier", "proxy")],
         s.proxy_hits as f64,
     );
+    out.sample("baps_served_total", &[("tier", "disk")], s.disk_hits as f64);
     out.sample("baps_served_total", &[("tier", "peer")], s.peer_hits as f64);
     out.sample(
         "baps_served_total",
@@ -110,6 +116,62 @@ pub(crate) fn render(state: &ProxyState) -> String {
         &state.cache.shard_stats(),
         true,
     );
+
+    // Persistent disk tier (series present only when configured, like a
+    // real exporter omitting an absent subsystem).
+    if let Some(disk) = &state.disk {
+        let d = disk.stats();
+        out.gauge(
+            "baps_disk_bytes",
+            "Body bytes held by the disk tier.",
+            d.bytes as f64,
+        );
+        out.gauge(
+            "baps_disk_entries",
+            "Documents held by the disk tier.",
+            d.entries as f64,
+        );
+        out.counter(
+            "baps_disk_reads_fresh_total",
+            "Disk reads that returned a verified, fresh document.",
+            d.hits,
+        );
+        out.counter(
+            "baps_disk_reads_stale_total",
+            "Disk reads that returned a verified but TTL-expired document.",
+            d.stale,
+        );
+        out.counter(
+            "baps_disk_revalidations_total",
+            "Stale disk entries revalidated via 304 Not Modified.",
+            s.disk_revalidations,
+        );
+        out.counter(
+            "baps_disk_writes_total",
+            "Documents written through to the disk tier.",
+            d.writes,
+        );
+        out.counter(
+            "baps_disk_written_bytes_total",
+            "Body bytes written through to the disk tier.",
+            d.write_bytes,
+        );
+        out.counter(
+            "baps_disk_heals_total",
+            "Torn/corrupt disk files detected by verification and deleted.",
+            d.heals,
+        );
+        out.counter(
+            "baps_disk_evictions_total",
+            "Disk-tier entries evicted by the byte budget.",
+            d.evictions,
+        );
+        out.counter(
+            "baps_disk_io_errors_total",
+            "Disk-tier filesystem operations that failed (best-effort).",
+            d.io_errors,
+        );
+    }
 
     // Browser index.
     let idx = state.index.stats();

@@ -1,5 +1,11 @@
 //! The origin Web server: serves the document corpus over the wire
 //! protocol (`GET <url> ORIGIN/1.0`).
+//!
+//! A `GET` may carry an `If-Digest: <md5-hex>` header (the proxy's
+//! disk-tier revalidation): when the named digest still matches the stored
+//! body, the origin answers `304 Not Modified` with no body, so a stale
+//! disk entry is refreshed for the cost of a header exchange instead of a
+//! full document transfer.
 
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
@@ -20,6 +26,7 @@ pub struct OriginServer {
     /// Acceptor thread; returns the worker pool on exit for joining.
     handle: Option<JoinHandle<WorkerPool>>,
     hits: Arc<AtomicU64>,
+    revalidations: Arc<AtomicU64>,
     store: Arc<RwLock<DocumentStore>>,
 }
 
@@ -67,13 +74,22 @@ impl OriginServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let hits = Arc::new(AtomicU64::new(0));
+        let revalidations = Arc::new(AtomicU64::new(0));
         let store = Arc::new(RwLock::new(store));
         let recorder = recorder.unwrap_or_else(|| Arc::new(FlightRecorder::default()));
         let pool = {
             let hits = Arc::clone(&hits);
+            let revalidations = Arc::clone(&revalidations);
             let store = Arc::clone(&store);
             WorkerPool::start("baps-origin-worker", workers, backlog, move |stream| {
-                let _ = serve_connection(stream, &store, &hits, faults.as_deref(), &recorder);
+                let _ = serve_connection(
+                    stream,
+                    &store,
+                    &hits,
+                    &revalidations,
+                    faults.as_deref(),
+                    &recorder,
+                );
             })?
         };
         let handle = {
@@ -96,6 +112,7 @@ impl OriginServer {
             shutdown,
             handle: Some(handle),
             hits,
+            revalidations,
             store,
         })
     }
@@ -105,9 +122,16 @@ impl OriginServer {
         self.addr
     }
 
-    /// Number of successful document fetches served.
+    /// Number of successful document fetches served (full bodies; `304
+    /// Not Modified` answers are counted separately).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of conditional GETs answered `304 Not Modified` (the
+    /// requester's `If-Digest` still matched, so no body was sent).
+    pub fn revalidations(&self) -> u64 {
+        self.revalidations.load(Ordering::Relaxed)
     }
 
     /// Mutates a stored document (models a changed Web page).
@@ -144,6 +168,7 @@ fn serve_connection(
     stream: TcpStream,
     store: &RwLock<DocumentStore>,
     hits: &AtomicU64,
+    revalidations: &AtomicU64,
     faults: Option<&FaultPlan>,
     recorder: &FlightRecorder,
 ) -> io::Result<()> {
@@ -168,7 +193,7 @@ fn serve_connection(
             }
             other => {
                 let t_serve = std::time::Instant::now();
-                let reply = handle_request(&msg, store, hits);
+                let reply = handle_request(&msg, store, hits, revalidations);
                 if let ["GET", url, "ORIGIN/1.0"] = msg.tokens().as_slice() {
                     let trace = msg
                         .get("Trace-Id")
@@ -180,10 +205,10 @@ fn serve_connection(
                         t_serve.elapsed(),
                         format!(
                             "url={url} outcome={}",
-                            if crate::protocol::response_code(&reply) == Some(status::OK) {
-                                "ok"
-                            } else {
-                                "miss"
+                            match crate::protocol::response_code(&reply) {
+                                Some(status::OK) => "ok",
+                                Some(status::NOT_MODIFIED) => "not-modified",
+                                _ => "miss",
                             }
                         ),
                     );
@@ -198,13 +223,27 @@ fn serve_connection(
     Ok(())
 }
 
-fn handle_request(msg: &Message, store: &RwLock<DocumentStore>, hits: &AtomicU64) -> Message {
+fn handle_request(
+    msg: &Message,
+    store: &RwLock<DocumentStore>,
+    hits: &AtomicU64,
+    revalidations: &AtomicU64,
+) -> Message {
     let tokens = msg.tokens();
     match tokens.as_slice() {
         // `get_shared` hands out the stored allocation: serving a document
         // is a refcount bump under the read lock, not a copy.
         ["GET", url, "ORIGIN/1.0"] => match store.read().get_shared(url) {
             Some(body) => {
+                // Conditional GET: the requester names the digest of its
+                // stale copy; if unchanged, refresh it without the body.
+                if let Some(expect) = msg.get("If-Digest") {
+                    if baps_crypto::md5::md5(&body).to_hex() == expect {
+                        revalidations.fetch_add(1, Ordering::Relaxed);
+                        return response(status::NOT_MODIFIED, "Not Modified")
+                            .header("X-Source", "origin");
+                    }
+                }
                 hits.fetch_add(1, Ordering::Relaxed);
                 response(status::OK, "OK")
                     .header("X-Source", "origin")
@@ -223,10 +262,14 @@ mod tests {
     use std::io::BufReader;
 
     fn fetch(addr: SocketAddr, url: &str) -> Message {
+        exchange(addr, Message::new(format!("GET {url} ORIGIN/1.0")))
+    }
+
+    fn exchange(addr: SocketAddr, msg: Message) -> Message {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = stream;
-        write_message(&mut writer, &Message::new(format!("GET {url} ORIGIN/1.0"))).unwrap();
+        write_message(&mut writer, &msg).unwrap();
         read_message(&mut reader).unwrap().unwrap()
     }
 
@@ -259,6 +302,34 @@ mod tests {
         write_message(&mut writer, &Message::new("FROB x ORIGIN/1.0")).unwrap();
         let reply = read_message(&mut reader).unwrap().unwrap();
         assert_eq!(response_code(&reply), Some(400));
+    }
+
+    #[test]
+    fn conditional_get_revalidates_without_body() {
+        let store = DocumentStore::synthetic(1, 50, 100, 9);
+        let url = "http://origin/doc/0";
+        let body = store.get(url).unwrap().to_vec();
+        let digest = baps_crypto::md5::md5(&body).to_hex();
+        let server = OriginServer::start(store).unwrap();
+        // Matching digest: 304, empty body, not counted as a served hit.
+        let reply = exchange(
+            server.addr(),
+            Message::new(format!("GET {url} ORIGIN/1.0")).header("If-Digest", digest),
+        );
+        assert_eq!(response_code(&reply), Some(status::NOT_MODIFIED));
+        assert!(reply.body.is_empty());
+        assert_eq!(server.hits(), 0);
+        assert_eq!(server.revalidations(), 1);
+        // Stale digest: a full 200 with the current body.
+        let reply = exchange(
+            server.addr(),
+            Message::new(format!("GET {url} ORIGIN/1.0"))
+                .header("If-Digest", baps_crypto::md5::md5(b"stale copy").to_hex()),
+        );
+        assert_eq!(response_code(&reply), Some(status::OK));
+        assert_eq!(&reply.body[..], &body[..]);
+        assert_eq!(server.hits(), 1);
+        assert_eq!(server.revalidations(), 1);
     }
 
     #[test]

@@ -280,6 +280,9 @@ pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Option<Message>> {
 pub mod status {
     /// Success.
     pub const OK: u16 = 200;
+    /// Conditional GET: the requester's copy (named by `If-Digest`) still
+    /// matches the origin's, so no body is sent.
+    pub const NOT_MODIFIED: u16 = 304;
     /// Document not found anywhere.
     pub const NOT_FOUND: u16 = 404;
     /// Peer no longer holds the document.

@@ -13,6 +13,7 @@
 //! a shared [`FlightRecorder`] keyed by the client-minted `Trace-Id`. The
 //! `METRICS BAPS/1.0` verb renders all of it as Prometheus text.
 
+use crate::disk::{DiskConfig, DiskStats, DiskTier};
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{dial_with_deadline, ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{
@@ -82,6 +83,12 @@ pub struct ProxyConfig {
     pub origin_timeout: Duration,
     /// Extra origin fetch attempts after a transport failure or 5xx.
     pub origin_retries: u32,
+    /// Optional persistent disk tier beneath the memory cache (DESIGN.md
+    /// §10). A restarted proxy pointed at the same root comes back warm,
+    /// and the monotonic Prometheus counters survive the restart via a
+    /// baseline file in the same root. `None` keeps the cache memory-only
+    /// (a restart starts cold, as before).
+    pub disk: Option<DiskConfig>,
     /// Fault plan consulted once per client-facing `GET` (chaos testing).
     pub faults: Option<Arc<FaultPlan>>,
     /// Shared flight recorder. `None` gives the proxy a private ring; the
@@ -112,15 +119,20 @@ impl ProxyConfig {
 ///
 /// There is deliberately no `requests` counter: a request total incremented
 /// separately from the outcome counters can be read mid-request, producing
-/// snapshots where `requests != proxy_hits + peer_hits + origin_fetches +
-/// errors`. [`ProxyCounters::snapshot`] instead *derives* the total from
-/// the outcome counters, so the balance identity holds in every snapshot
-/// by construction (each outcome counter is bumped exactly once, when the
-/// request's fate is decided).
+/// snapshots where `requests != proxy_hits + disk_hits + peer_hits +
+/// origin_fetches + errors`. [`ProxyCounters::snapshot`] instead *derives*
+/// the total from the outcome counters, so the balance identity holds in
+/// every snapshot by construction (each outcome counter is bumped exactly
+/// once, when the request's fate is decided).
 #[derive(Debug, Default)]
 pub struct ProxyCounters {
-    /// Served from the proxy cache.
+    /// Served from the proxy's in-memory cache.
     pub proxy_hits: AtomicU64,
+    /// Served from the proxy's disk tier (fresh or revalidated).
+    pub disk_hits: AtomicU64,
+    /// Disk-tier serves that required a `304 Not Modified` revalidation
+    /// round trip first (a subset of `disk_hits`).
+    pub disk_revalidations: AtomicU64,
     /// Served from a peer browser cache.
     pub peer_hits: AtomicU64,
     /// Fetched from the origin.
@@ -142,16 +154,19 @@ pub struct ProxyCounters {
 impl ProxyCounters {
     /// A consistent snapshot: each outcome counter is read exactly once
     /// and the request total is derived from them, so
-    /// `requests == proxy_hits + peer_hits + origin_fetches + errors`
-    /// holds in the result even while workers are mid-flight.
+    /// `requests == proxy_hits + disk_hits + peer_hits + origin_fetches +
+    /// errors` holds in the result even while workers are mid-flight.
     pub fn snapshot(&self) -> ProxyStats {
         let proxy_hits = self.proxy_hits.load(Ordering::Relaxed);
+        let disk_hits = self.disk_hits.load(Ordering::Relaxed);
         let peer_hits = self.peer_hits.load(Ordering::Relaxed);
         let origin_fetches = self.origin_fetches.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
         ProxyStats {
-            requests: proxy_hits + peer_hits + origin_fetches + errors,
+            requests: proxy_hits + disk_hits + peer_hits + origin_fetches + errors,
             proxy_hits,
+            disk_hits,
+            disk_revalidations: self.disk_revalidations.load(Ordering::Relaxed),
             peer_hits,
             origin_fetches,
             invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -164,18 +179,26 @@ impl ProxyCounters {
 }
 
 /// Snapshot of [`ProxyCounters`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProxyStats {
-    /// GET requests completed (derived: the sum of the four outcome
+    /// GET requests completed (derived: the sum of the five outcome
     /// counters, so the balance identity holds in every snapshot).
     pub requests: u64,
-    /// Served from the proxy cache.
+    /// Served from the proxy's in-memory cache.
     pub proxy_hits: u64,
+    /// Served from the proxy's disk tier (fresh or revalidated).
+    pub disk_hits: u64,
+    /// Disk serves that needed a `304 Not Modified` revalidation first
+    /// (a subset of `disk_hits`).
+    pub disk_revalidations: u64,
     /// Served from a peer browser cache.
     pub peer_hits: u64,
     /// Fetched from the origin.
     pub origin_fetches: u64,
-    /// INVALIDATE messages processed.
+    /// Eviction notices applied to the browser index. Counted only when
+    /// the notice actually removed an entry, so a notice replayed by a
+    /// reconnecting client (delivered, but the reply was lost) counts
+    /// exactly once.
     pub invalidations: u64,
     /// Failed peer probes.
     pub peer_failures: u64,
@@ -185,6 +208,27 @@ pub struct ProxyStats {
     pub peer_fallbacks: u64,
     /// GET requests answered with an error instead of a document.
     pub errors: u64,
+}
+
+impl ProxyStats {
+    /// Field-wise sum with a persisted pre-restart baseline. Both addends
+    /// satisfy the balance identity (each derives `requests` from its own
+    /// outcome counters), so the sum does too — restart-surviving totals
+    /// stay monotonic *and* balanced.
+    pub fn offset_by(mut self, base: &ProxyStats) -> ProxyStats {
+        self.requests += base.requests;
+        self.proxy_hits += base.proxy_hits;
+        self.disk_hits += base.disk_hits;
+        self.disk_revalidations += base.disk_revalidations;
+        self.peer_hits += base.peer_hits;
+        self.origin_fetches += base.origin_fetches;
+        self.invalidations += base.invalidations;
+        self.peer_failures += base.peer_failures;
+        self.direct_pushes += base.direct_pushes;
+        self.peer_fallbacks += base.peer_fallbacks;
+        self.errors += base.errors;
+        self
+    }
 }
 
 /// Shard-lock waits above this are worth a flight-recorder event even on
@@ -230,10 +274,25 @@ pub(crate) struct ProxyState {
     relay: Mutex<AnonymizingProxy>,
     signer: ProxySigner,
     pub(crate) counters: ProxyCounters,
+    /// Counter totals carried over from previous incarnations of this
+    /// proxy (loaded from the disk root at start). Folded into every
+    /// snapshot so the monotonic `baps_*_total` series survive a restart.
+    baseline: ProxyStats,
     config: ProxyConfig,
     pub(crate) obs: ProxyObs,
+    /// The persistent disk tier, when configured.
+    pub(crate) disk: Option<DiskTier>,
     /// Idle keep-alive connections to the origin, reused across fetches.
     origin_pool: Mutex<Vec<OriginConn>>,
+}
+
+impl ProxyState {
+    /// Restart-surviving counter snapshot: the live counters plus the
+    /// persisted baseline. The balance identity holds (see
+    /// [`ProxyStats::offset_by`]).
+    pub(crate) fn stats(&self) -> ProxyStats {
+        self.counters.snapshot().offset_by(&self.baseline)
+    }
 }
 
 /// A running browsers-aware proxy.
@@ -245,12 +304,24 @@ pub struct ProxyServer {
     handle: Option<JoinHandle<WorkerPool>>,
     registry: Arc<ConnRegistry>,
     state: Arc<ProxyState>,
+    /// The bound listening socket. The acceptor thread runs on a clone;
+    /// keeping the original here lets [`ProxyServer::restart`] hand the
+    /// same bound port to the next incarnation (no rebind, no
+    /// address-in-use race — connections arriving during the gap queue in
+    /// the kernel backlog).
+    listener: TcpListener,
 }
 
 impl ProxyServer {
     /// Starts the proxy on an ephemeral loopback port.
     pub fn start(config: ProxyConfig) -> io::Result<ProxyServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        ProxyServer::start_on(listener, config)
+    }
+
+    /// Starts the proxy on an already-bound listener (the restart path
+    /// reuses the previous incarnation's socket).
+    fn start_on(listener: TcpListener, config: ProxyConfig) -> io::Result<ProxyServer> {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(config.key_seed));
@@ -268,6 +339,16 @@ impl ProxyServer {
             .recorder
             .clone()
             .unwrap_or_else(|| Arc::new(FlightRecorder::default()));
+        // Re-open the persistent tier (warm after a restart) and the
+        // counter baseline that lives beside it.
+        let disk = match &config.disk {
+            Some(disk_config) => Some(DiskTier::open(disk_config.clone(), signer.public_key())?),
+            None => None,
+        };
+        let baseline = disk
+            .as_ref()
+            .map(|d| load_baseline(d.root()))
+            .unwrap_or_default();
         let state = Arc::new(ProxyState {
             cache: ShardedCache::new(config.cache_capacity, auto_shards(config.cache_capacity)),
             index: StripedIndex::new(DEFAULT_INDEX_SHARDS),
@@ -276,12 +357,14 @@ impl ProxyServer {
             relay: Mutex::new(AnonymizingProxy::new()),
             signer,
             counters: ProxyCounters::default(),
+            baseline,
             config,
             obs: ProxyObs {
                 recorder,
                 tiers: LabeledHistograms::new(&TIER_NAMES),
                 verbs: LabeledHistograms::new(&PROXY_VERBS),
             },
+            disk,
             origin_pool: Mutex::new(Vec::new()),
         });
         let pool = {
@@ -293,10 +376,11 @@ impl ProxyServer {
         let registry = Arc::clone(pool.registry());
         let handle = {
             let shutdown = Arc::clone(&shutdown);
+            let acceptor = listener.try_clone()?;
             std::thread::Builder::new()
                 .name("baps-proxy".into())
                 .spawn(move || {
-                    for conn in listener.incoming() {
+                    for conn in acceptor.incoming() {
                         if shutdown.load(Ordering::Acquire) {
                             break;
                         }
@@ -314,7 +398,24 @@ impl ProxyServer {
             handle: Some(handle),
             registry,
             state,
+            listener,
         })
+    }
+
+    /// Warm restart: stops this incarnation completely (connections
+    /// severed, workers joined, counter baseline persisted beside the
+    /// disk tier), then starts a fresh one **on the same bound socket**
+    /// with the same configuration. With a disk tier configured the new
+    /// incarnation re-opens the store and serves the persisted documents
+    /// immediately — a restart degrades to disk latency instead of a full
+    /// cache loss. Keep-alive clients see EOF and reconnect as they
+    /// already do for dropped connections.
+    pub fn restart(&mut self) -> io::Result<()> {
+        let config = self.state.config.clone();
+        self.stop();
+        let listener = self.listener.try_clone()?;
+        *self = ProxyServer::start_on(listener, config)?;
+        Ok(())
     }
 
     /// The address clients should dial.
@@ -327,11 +428,19 @@ impl ProxyServer {
         self.state.signer.public_key()
     }
 
-    /// Counter snapshot. The balance identity `requests == proxy_hits +
-    /// peer_hits + origin_fetches + errors` holds in every snapshot, even
-    /// taken mid-load (see [`ProxyCounters::snapshot`]).
+    /// Counter snapshot, including totals carried over from previous
+    /// incarnations when a disk tier is configured. The balance identity
+    /// `requests == proxy_hits + disk_hits + peer_hits + origin_fetches +
+    /// errors` holds in every snapshot, even taken mid-load (see
+    /// [`ProxyCounters::snapshot`] and [`ProxyStats::offset_by`]).
     pub fn stats(&self) -> ProxyStats {
-        self.state.counters.snapshot()
+        self.state.stats()
+    }
+
+    /// Disk-tier counter/occupancy snapshot (`None` when the proxy runs
+    /// memory-only).
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.state.disk.as_ref().map(DiskTier::stats)
     }
 
     /// The flight recorder this proxy records into (shared with the whole
@@ -409,6 +518,15 @@ impl ProxyServer {
             }
         }
         self.state.origin_pool.lock().clear();
+        // Persist the cumulative counters beside the disk tier so the
+        // next incarnation's `baps_*_total` series continue monotonically
+        // instead of resetting to zero. Written after the workers have
+        // joined, so the totals are final. (A crash skips this — the
+        // series then resume from the last graceful stop, still
+        // monotonic, merely missing the unpersisted tail.)
+        if let Some(disk) = &self.state.disk {
+            persist_baseline(disk.root(), &self.state.stats());
+        }
     }
 }
 
@@ -416,6 +534,63 @@ impl Drop for ProxyServer {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// File beside the disk tier holding the cumulative counter totals of
+/// previous proxy incarnations (plain `key=value` lines).
+const BASELINE_FILE: &str = "counters.baseline";
+
+/// Writes the cumulative counters as `key=value` lines. `requests` is not
+/// written — it is derived on load, preserving the balance identity.
+fn persist_baseline(root: &std::path::Path, s: &ProxyStats) {
+    let text = format!(
+        "proxy_hits={}\ndisk_hits={}\ndisk_revalidations={}\npeer_hits={}\n\
+         origin_fetches={}\ninvalidations={}\npeer_failures={}\n\
+         direct_pushes={}\npeer_fallbacks={}\nerrors={}\n",
+        s.proxy_hits,
+        s.disk_hits,
+        s.disk_revalidations,
+        s.peer_hits,
+        s.origin_fetches,
+        s.invalidations,
+        s.peer_failures,
+        s.direct_pushes,
+        s.peer_fallbacks,
+        s.errors,
+    );
+    let _ = std::fs::write(root.join(BASELINE_FILE), text);
+}
+
+/// Loads the persisted counter baseline; unknown keys are skipped and a
+/// missing or garbled file yields zeros, so a corrupt baseline degrades
+/// to a counter reset, never a failed start.
+fn load_baseline(root: &std::path::Path) -> ProxyStats {
+    let mut s = ProxyStats::default();
+    if let Ok(text) = std::fs::read_to_string(root.join(BASELINE_FILE)) {
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let Ok(value) = value.trim().parse::<u64>() else {
+                continue;
+            };
+            match key.trim() {
+                "proxy_hits" => s.proxy_hits = value,
+                "disk_hits" => s.disk_hits = value,
+                "disk_revalidations" => s.disk_revalidations = value,
+                "peer_hits" => s.peer_hits = value,
+                "origin_fetches" => s.origin_fetches = value,
+                "invalidations" => s.invalidations = value,
+                "peer_failures" => s.peer_failures = value,
+                "direct_pushes" => s.direct_pushes = value,
+                "peer_fallbacks" => s.peer_fallbacks = value,
+                "errors" => s.errors = value,
+                _ => {}
+            }
+        }
+    }
+    s.requests = s.proxy_hits + s.disk_hits + s.peer_hits + s.origin_fetches + s.errors;
+    s
 }
 
 fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
@@ -558,6 +733,76 @@ fn handle_get(
         return ok_response("proxy", &cached);
     }
 
+    // 1b. Disk tier — consulted only after a memory miss, so the
+    // in-memory hot path never touches it. A fresh verified entry serves
+    // directly; a stale one is revalidated against the origin with a
+    // conditional GET; a torn or corrupted file already self-healed
+    // inside `load` and reads as a miss.
+    if let Some(disk) = &state.disk {
+        let t_disk = Instant::now();
+        let hit = disk.load(url);
+        state.obs.recorder.record(
+            trace,
+            EventKind::DiskRead,
+            t_disk.elapsed(),
+            format!(
+                "url={url} outcome={}",
+                match &hit {
+                    Some(h) if h.fresh => "fresh",
+                    Some(_) => "stale",
+                    None => "miss",
+                }
+            ),
+        );
+        if let Some(hit) = hit {
+            if hit.fresh {
+                return serve_from_disk(state, requester, doc, url, hit.doc, false, t_request);
+            }
+            // TTL expired: ask the origin whether our copy is still
+            // current before serving it.
+            let t_reval = Instant::now();
+            let outcome = revalidate_with_origin(state, url, &hit.digest_hex, trace);
+            state.obs.recorder.record(
+                trace,
+                EventKind::OriginFetch,
+                t_reval.elapsed(),
+                format!(
+                    "url={url} outcome={}",
+                    match &outcome {
+                        Revalidation::NotModified => "not-modified",
+                        Revalidation::Changed(_) => "changed",
+                        Revalidation::Gone => "gone",
+                        Revalidation::Failed => "err",
+                    }
+                ),
+            );
+            match outcome {
+                Revalidation::NotModified => {
+                    disk.refresh(url);
+                    return serve_from_disk(state, requester, doc, url, hit.doc, true, t_request);
+                }
+                Revalidation::Changed(body) => {
+                    // The document changed at the origin: this is an
+                    // origin fetch in every respect, write-through
+                    // included.
+                    return serve_origin_fetch(state, requester, doc, url, body, trace, t_request);
+                }
+                Revalidation::Gone => {
+                    // The origin no longer serves the document; the
+                    // stale disk copy must not outlive it.
+                    disk.remove(url);
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return response(status::NOT_FOUND, "Not Found");
+                }
+                Revalidation::Failed => {
+                    // Origin unreachable: keep the stale entry (a later
+                    // revalidation may still rescue it) and degrade to
+                    // the peer path below.
+                }
+            }
+        }
+    }
+
     // 2. Browser index -> peer browser caches.
     let mut probed_peers = false;
     if !bypass_peers {
@@ -614,6 +859,7 @@ fn handle_get(
                     state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                     if state.config.cache_peer_hits {
                         state.cache.insert(doc, url, cached.clone());
+                        write_through_to_disk(state, url, &cached, trace);
                     }
                     state.index.on_store(requester, doc);
                     state
@@ -651,23 +897,7 @@ fn handle_get(
         ),
     );
     match fetched {
-        Ok(body) => {
-            state
-                .counters
-                .origin_fetches
-                .fetch_add(1, Ordering::Relaxed);
-            let cached = CachedDoc {
-                watermark: state.signer.watermark(&body),
-                body,
-            };
-            state.cache.insert(doc, url, cached.clone());
-            state.index.on_store(requester, doc);
-            state
-                .obs
-                .tiers
-                .record(Tier::Origin.index(), t_request.elapsed());
-            ok_response("origin", &cached)
-        }
+        Ok(body) => serve_origin_fetch(state, requester, doc, url, body, trace, t_request),
         Err(e) => {
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
             match e {
@@ -682,15 +912,97 @@ fn handle_get(
     }
 }
 
+/// Serves an origin-fetched body: mints the watermark, populates both
+/// cache tiers (write-through), updates the index, and counts the fetch.
+fn serve_origin_fetch(
+    state: &ProxyState,
+    requester: ClientId,
+    doc: DocId,
+    url: &str,
+    body: Body,
+    trace: TraceId,
+    t_request: Instant,
+) -> Message {
+    state
+        .counters
+        .origin_fetches
+        .fetch_add(1, Ordering::Relaxed);
+    let cached = CachedDoc {
+        watermark: state.signer.watermark(&body),
+        body,
+    };
+    state.cache.insert(doc, url, cached.clone());
+    write_through_to_disk(state, url, &cached, trace);
+    state.index.on_store(requester, doc);
+    state
+        .obs
+        .tiers
+        .record(Tier::Origin.index(), t_request.elapsed());
+    ok_response("origin", &cached)
+}
+
+/// Serves a verified disk-tier document: counts the hit, promotes the
+/// document into the memory tier (repeat requests become memory hits),
+/// and updates the index.
+fn serve_from_disk(
+    state: &ProxyState,
+    requester: ClientId,
+    doc: DocId,
+    url: &str,
+    cached: CachedDoc,
+    revalidated: bool,
+    t_request: Instant,
+) -> Message {
+    state.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+    if revalidated {
+        state
+            .counters
+            .disk_revalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    state.cache.insert(doc, url, cached.clone());
+    state.index.on_store(requester, doc);
+    state
+        .obs
+        .tiers
+        .record(Tier::Disk.index(), t_request.elapsed());
+    ok_response("disk", &cached)
+}
+
+/// Best-effort write-through to the disk tier (no-op without one). The
+/// store itself never fails a request; filesystem trouble is counted in
+/// the tier's `io_errors`.
+fn write_through_to_disk(state: &ProxyState, url: &str, cached: &CachedDoc, trace: TraceId) {
+    let Some(disk) = &state.disk else { return };
+    let t_write = Instant::now();
+    disk.store(url, cached);
+    state.obs.recorder.record(
+        trace,
+        EventKind::DiskWrite,
+        t_write.elapsed(),
+        format!("url={url} bytes={}", cached.byte_size()),
+    );
+}
+
 fn handle_invalidate(url: &str, client: u32, trace: TraceId, state: &ProxyState) {
-    state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
     let doc = doc_id(state, url);
-    state.index.on_evict(ClientId(client), doc);
+    // Idempotent by construction: the counter moves only when the notice
+    // actually removed an index entry. A notice the client replays after
+    // a reconnect (it was delivered, but the reply was lost) finds the
+    // entry already gone and counts nothing — notices are at-least-once
+    // on the wire but exactly-once in the index and the counter.
+    let applied = state.index.on_evict(ClientId(client), doc);
+    if applied {
+        state.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
     state.obs.recorder.record(
         trace,
         EventKind::Invalidate,
         Duration::ZERO,
-        format!("client={client} url={url}"),
+        format!(
+            "client={client} url={url} outcome={}",
+            if applied { "applied" } else { "stale" }
+        ),
     );
 }
 
@@ -699,10 +1011,15 @@ fn handle_invalidate(url: &str, client: u32, trace: TraceId, state: &ProxyState)
 /// over the wire without a side channel. Reads one consistent
 /// [`ProxyCounters::snapshot`], so the headers always balance.
 fn stats_response(state: &ProxyState) -> Message {
-    let s = state.counters.snapshot();
+    let s = state.stats();
+    let disk = state.disk.as_ref().map(DiskTier::stats).unwrap_or_default();
     response(status::OK, "OK")
         .header("Requests", s.requests.to_string())
         .header("Proxy-Hits", s.proxy_hits.to_string())
+        .header("Disk-Hits", s.disk_hits.to_string())
+        .header("Disk-Revalidations", s.disk_revalidations.to_string())
+        .header("Disk-Entries", disk.entries.to_string())
+        .header("Disk-Bytes", disk.bytes.to_string())
         .header("Peer-Hits", s.peer_hits.to_string())
         .header("Origin-Fetches", s.origin_fetches.to_string())
         .header("Invalidations", s.invalidations.to_string())
@@ -910,11 +1227,20 @@ fn origin_dial(state: &ProxyState) -> io::Result<OriginConn> {
     })
 }
 
-fn origin_request(conn: &mut OriginConn, url: &str, trace: TraceId) -> io::Result<Message> {
-    write_message(
-        &mut conn.writer,
-        &Message::new(format!("GET {url} ORIGIN/1.0")).header("Trace-Id", trace.to_string()),
-    )?;
+fn origin_request(
+    conn: &mut OriginConn,
+    url: &str,
+    trace: TraceId,
+    if_digest: Option<&str>,
+) -> io::Result<Message> {
+    let mut msg =
+        Message::new(format!("GET {url} ORIGIN/1.0")).header("Trace-Id", trace.to_string());
+    if let Some(digest) = if_digest {
+        // Conditional fetch: the origin answers 304 if the digest still
+        // matches, saving the body transfer.
+        msg = msg.header("If-Digest", digest);
+    }
+    write_message(&mut conn.writer, &msg)?;
     read_message(&mut conn.reader)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "origin closed connection"))
 }
@@ -926,18 +1252,23 @@ fn origin_request(conn: &mut OriginConn, url: &str, trace: TraceId) -> io::Resul
 /// completed a well-framed exchange are checked back in, capped at the
 /// worker count; a connection that errored (possibly mid-frame) is
 /// discarded so a desynchronised stream can never be reused.
-fn origin_attempt(state: &ProxyState, url: &str, trace: TraceId) -> io::Result<Message> {
+fn origin_attempt(
+    state: &ProxyState,
+    url: &str,
+    trace: TraceId,
+    if_digest: Option<&str>,
+) -> io::Result<Message> {
     let pooled = state.origin_pool.lock().pop();
     let reused = pooled.is_some();
     let mut conn = match pooled {
         Some(conn) => conn,
         None => origin_dial(state)?,
     };
-    let reply = match origin_request(&mut conn, url, trace) {
+    let reply = match origin_request(&mut conn, url, trace, if_digest) {
         Ok(reply) => reply,
         Err(_) if reused => {
             conn = origin_dial(state)?;
-            origin_request(&mut conn, url, trace)?
+            origin_request(&mut conn, url, trace, if_digest)?
         }
         Err(e) => return Err(e),
     };
@@ -963,7 +1294,7 @@ fn fetch_from_origin(state: &ProxyState, url: &str, trace: TraceId) -> Result<Bo
     let mut attempts_left = state.config.origin_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        let failure = match origin_attempt(state, url, trace) {
+        let failure = match origin_attempt(state, url, trace, None) {
             Ok(reply) => match response_code(&reply) {
                 Some(status::OK) => return Ok(reply.body),
                 Some(status::NOT_FOUND) => return Err(OriginError::NotFound),
@@ -973,6 +1304,49 @@ fn fetch_from_origin(state: &ProxyState, url: &str, trace: TraceId) -> Result<Bo
         };
         if attempts_left == 0 {
             return Err(failure);
+        }
+        attempts_left -= 1;
+        std::thread::sleep(backoff);
+        backoff *= 2;
+    }
+}
+
+/// Outcome of a conditional (`If-Digest`) origin exchange for a stale
+/// disk entry.
+enum Revalidation {
+    /// The disk copy is still current; its freshness stamp can be reset.
+    NotModified,
+    /// The document changed; here is the new body.
+    Changed(Body),
+    /// The origin no longer serves the document (authoritative 404).
+    Gone,
+    /// The origin was unreachable or kept erroring after every retry;
+    /// nothing is known about the copy's currency.
+    Failed,
+}
+
+/// Revalidates a stale disk entry against the origin with bounded retries
+/// (the same transport/5xx retry policy as [`fetch_from_origin`]; 200,
+/// 304, and 404 are authoritative).
+fn revalidate_with_origin(
+    state: &ProxyState,
+    url: &str,
+    digest_hex: &str,
+    trace: TraceId,
+) -> Revalidation {
+    let mut attempts_left = state.config.origin_retries;
+    let mut backoff = RETRY_BACKOFF;
+    loop {
+        if let Ok(reply) = origin_attempt(state, url, trace, Some(digest_hex)) {
+            match response_code(&reply) {
+                Some(status::OK) => return Revalidation::Changed(reply.body),
+                Some(status::NOT_MODIFIED) => return Revalidation::NotModified,
+                Some(status::NOT_FOUND) => return Revalidation::Gone,
+                _ => {}
+            }
+        }
+        if attempts_left == 0 {
+            return Revalidation::Failed;
         }
         attempts_left -= 1;
         std::thread::sleep(backoff);
@@ -1004,14 +1378,56 @@ mod tests {
     fn snapshot_balances_by_construction() {
         let c = ProxyCounters::default();
         c.proxy_hits.fetch_add(3, Ordering::Relaxed);
+        c.disk_hits.fetch_add(4, Ordering::Relaxed);
         c.peer_hits.fetch_add(2, Ordering::Relaxed);
         c.origin_fetches.fetch_add(5, Ordering::Relaxed);
         c.errors.fetch_add(1, Ordering::Relaxed);
         let s = c.snapshot();
-        assert_eq!(s.requests, 11);
+        assert_eq!(s.requests, 15);
         assert_eq!(
             s.requests,
-            s.proxy_hits + s.peer_hits + s.origin_fetches + s.errors
+            s.proxy_hits + s.disk_hits + s.peer_hits + s.origin_fetches + s.errors
         );
+    }
+
+    /// The persisted baseline round-trips through the key=value file and
+    /// folds into snapshots without breaking the balance identity.
+    #[test]
+    fn baseline_roundtrip_preserves_balance() {
+        let root = std::env::temp_dir().join(format!("baps-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let before = ProxyStats {
+            requests: 10,
+            proxy_hits: 4,
+            disk_hits: 2,
+            disk_revalidations: 1,
+            peer_hits: 1,
+            origin_fetches: 3,
+            invalidations: 7,
+            peer_failures: 2,
+            direct_pushes: 1,
+            peer_fallbacks: 1,
+            errors: 0,
+        };
+        persist_baseline(&root, &before);
+        let loaded = load_baseline(&root);
+        assert_eq!(loaded, before);
+        let c = ProxyCounters::default();
+        c.proxy_hits.fetch_add(5, Ordering::Relaxed);
+        c.errors.fetch_add(1, Ordering::Relaxed);
+        let total = c.snapshot().offset_by(&loaded);
+        assert_eq!(total.requests, 16);
+        assert_eq!(
+            total.requests,
+            total.proxy_hits
+                + total.disk_hits
+                + total.peer_hits
+                + total.origin_fetches
+                + total.errors
+        );
+        // A missing file is a zero baseline, not an error.
+        let empty = load_baseline(&root.join("nope"));
+        assert_eq!(empty, ProxyStats::default());
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,12 +1,14 @@
 //! Test-bed harness: origin + proxy + N client agents on loopback.
 
 use crate::client::{ClientAgent, ClientConfig};
+use crate::disk::DiskConfig;
 use crate::error::ProxyError;
 use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
 use crate::proxy::{ProxyConfig, ProxyServer};
 use crate::store::DocumentStore;
 use baps_obs::FlightRecorder;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +56,14 @@ pub struct TestBedConfig {
     /// origin, the proxy, and every client, so a dump interleaves all
     /// sides of each traced request.
     pub recorder_capacity: usize,
+    /// Root directory for the proxy's persistent disk tier. `None` (the
+    /// default) runs the proxy memory-only.
+    pub disk_root: Option<PathBuf>,
+    /// Disk-tier capacity in body bytes (used when `disk_root` is set).
+    pub disk_capacity: u64,
+    /// Disk-tier freshness TTL (used when `disk_root` is set). Entries
+    /// older than this revalidate against the origin before being served.
+    pub disk_ttl: Duration,
 }
 
 impl Default for TestBedConfig {
@@ -75,6 +85,9 @@ impl Default for TestBedConfig {
             origin_retries: 1,
             fault_plan: None,
             recorder_capacity: 0,
+            disk_root: None,
+            disk_capacity: 1 << 20,
+            disk_ttl: Duration::from_secs(3600),
         }
     }
 }
@@ -132,6 +145,11 @@ impl TestBed {
             peer_retries: config.peer_retries,
             origin_timeout: config.origin_timeout,
             origin_retries: config.origin_retries,
+            disk: config.disk_root.clone().map(|root| DiskConfig {
+                root,
+                capacity: config.disk_capacity,
+                default_ttl: config.disk_ttl,
+            }),
             faults: config.fault_plan.clone(),
             recorder: Some(Arc::clone(&recorder)),
         })?;
@@ -159,6 +177,17 @@ impl TestBed {
             clients,
             recorder,
         })
+    }
+
+    /// Restarts the proxy in place: stops it (persisting the disk tier's
+    /// counter baseline), then brings it back on the *same* listening
+    /// socket with the same configuration. With a disk tier configured the
+    /// restarted proxy re-opens its store and comes back warm; clients'
+    /// keep-alive connections die and transparently reconnect (replaying
+    /// their REGISTER) on their next request.
+    pub fn restart_proxy(&mut self) -> Result<(), ProxyError> {
+        self.proxy.restart()?;
+        Ok(())
     }
 
     /// Shuts every component down (clients first).

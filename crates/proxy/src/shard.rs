@@ -223,9 +223,11 @@ impl StripedIndex {
         self.locked(doc).on_store(client, doc);
     }
 
-    /// Records that `client` evicted `doc`.
-    pub fn on_evict(&self, client: ClientId, doc: DocId) {
-        self.locked(doc).on_evict(client, doc);
+    /// Records that `client` evicted `doc`. Returns whether an entry was
+    /// actually removed (`false` for stale/replayed notices), so callers
+    /// can count applied invalidations idempotently.
+    pub fn on_evict(&self, client: ClientId, doc: DocId) -> bool {
+        self.locked(doc).on_evict(client, doc)
     }
 
     /// All holders of `doc` other than `exclude`, most recent first.

@@ -90,6 +90,17 @@ pub struct CachedDoc {
     pub watermark: Watermark,
 }
 
+impl CachedDoc {
+    /// The bytes this document charges against a cache budget. Every
+    /// occupancy gauge — memory-tier LRU accounting, disk-tier accounting,
+    /// `Cache-Bytes`/`Disk-Bytes` STATS headers, Prometheus byte gauges —
+    /// funnels through this one definition so the gauges can never drift
+    /// from each other or from the actual body bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.body.len() as u64
+    }
+}
+
 /// Byte-budgeted LRU cache of document bodies, keyed by URL.
 #[derive(Debug)]
 pub struct BodyCache {
@@ -121,7 +132,7 @@ impl BodyCache {
             }
         };
         let doc = self.bodies.get(&id)?;
-        self.stats.record_hit(doc.body.len() as u64, Tier::Memory);
+        self.stats.record_hit(doc.byte_size(), Tier::Memory);
         Some(doc)
     }
 
@@ -137,7 +148,7 @@ impl BodyCache {
     pub fn insert(&mut self, url: &str, doc: CachedDoc) -> Vec<String> {
         let id = self.urls.intern(url);
         let had_prior = self.lru.contains(&id);
-        let out = self.lru.insert(id, doc.body.len() as u64);
+        let out = self.lru.insert(id, doc.byte_size());
         self.stats.record_insert(&out.evicted);
         let mut evicted: Vec<String> = out
             .evicted

@@ -282,6 +282,12 @@ fn stats_verb_over_one_keepalive_connection() {
         let field = |name: &str| -> u64 { stats_reply.get(name).unwrap().parse().unwrap() };
         assert_eq!(field("Requests"), stats.requests);
         assert_eq!(field("Proxy-Hits"), stats.proxy_hits);
+        assert_eq!(field("Disk-Hits"), stats.disk_hits);
+        assert_eq!(field("Disk-Revalidations"), stats.disk_revalidations);
+        // No disk tier configured in this bed: its gauges stay zero but
+        // the headers are always present.
+        assert_eq!(field("Disk-Entries"), 0);
+        assert_eq!(field("Disk-Bytes"), 0);
         assert_eq!(field("Peer-Hits"), stats.peer_hits);
         assert_eq!(field("Origin-Fetches"), stats.origin_fetches);
         assert_eq!(field("Invalidations"), stats.invalidations);
@@ -290,6 +296,15 @@ fn stats_verb_over_one_keepalive_connection() {
         assert_eq!(field("Direct-Pushes"), stats.direct_pushes);
         assert_eq!(field("Errors"), stats.errors);
         assert!(stats.requests >= 3);
+        // Balance identity straight off the wire.
+        assert_eq!(
+            field("Requests"),
+            field("Proxy-Hits")
+                + field("Disk-Hits")
+                + field("Peer-Hits")
+                + field("Origin-Fetches")
+                + field("Errors")
+        );
 
         // Shard occupancy and contention counters. Per-shard lists carry
         // exactly one comma-separated value per shard and sum to the
@@ -410,7 +425,7 @@ fn concurrent_stress_hot_and_disjoint_docs() {
             let s = proxy.stats();
             assert_eq!(
                 s.requests,
-                s.proxy_hits + s.peer_hits + s.origin_fetches + s.errors,
+                s.proxy_hits + s.disk_hits + s.peer_hits + s.origin_fetches + s.errors,
                 "mid-load snapshot tore: {s:?}"
             );
             if done.load(std::sync::atomic::Ordering::Acquire) {
@@ -430,7 +445,7 @@ fn concurrent_stress_hot_and_disjoint_docs() {
     let stats = bed.proxy.stats();
     assert_eq!(
         stats.requests,
-        stats.proxy_hits + stats.peer_hits + stats.origin_fetches + stats.errors
+        stats.proxy_hits + stats.disk_hits + stats.peer_hits + stats.origin_fetches + stats.errors
     );
     assert_eq!(stats.errors, 0);
     bed.shutdown();
@@ -636,13 +651,17 @@ fn metrics_verb_exposition_balances() {
         stats.proxy_hits as f64
     );
     assert_eq!(
+        get("baps_served_total", &[("tier", "disk")]),
+        stats.disk_hits as f64
+    );
+    assert_eq!(
         get("baps_served_total", &[("tier", "origin")]),
         stats.origin_fetches as f64
     );
     assert_eq!(get("baps_errors_total", &[]), stats.errors as f64);
 
     // Per-tier latency histogram counts cover exactly the served GETs.
-    let served: f64 = ["proxy", "peer", "origin"]
+    let served: f64 = ["proxy", "disk", "peer", "origin"]
         .iter()
         .map(|t| get("baps_request_latency_ms_count", &[("tier", t)]))
         .sum();
@@ -674,5 +693,242 @@ fn per_request_mode_still_works() {
     let r1 = bed.clients[1].fetch("http://origin/doc/3").unwrap();
     assert_eq!(r1.source, Source::Proxy);
     assert_eq!(r1.body, r0.body);
+    bed.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Persistent disk tier (DESIGN.md §10): warm restarts, crash safety,
+// restart-surviving counters, and idempotent eviction notices.
+
+/// A fresh, empty disk root under the system temp dir, unique per test.
+fn disk_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("baps_live_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A test bed whose proxy has the persistent disk tier enabled.
+fn disk_bed(n_clients: u32, dir: &std::path::Path, ttl: std::time::Duration) -> TestBed {
+    let store = DocumentStore::synthetic(16, 200, 2_000, 42);
+    TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients,
+            proxy_capacity: 64 << 10,
+            browser_capacity: 32 << 10,
+            disk_root: Some(dir.to_path_buf()),
+            disk_capacity: 1 << 20,
+            disk_ttl: ttl,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts")
+}
+
+/// Tentpole: a fully restarted proxy (workers stopped, memory cache and
+/// index lost) re-opens its disk store and serves the next miss from it —
+/// byte-exact, without touching the origin again.
+#[test]
+fn warm_restart_serves_from_disk() {
+    let dir = disk_dir("warm_restart");
+    let mut bed = disk_bed(3, &dir, std::time::Duration::from_secs(3600));
+    let url = "http://origin/doc/0";
+
+    let r0 = bed.clients[0].fetch(url).unwrap();
+    assert_eq!(r0.source, Source::Origin);
+    assert_eq!(bed.origin.hits(), 1);
+
+    bed.restart_proxy().expect("proxy restarts in place");
+    assert!(
+        bed.proxy.disk_stats().unwrap().entries >= 1,
+        "restarted proxy must re-open a non-empty store"
+    );
+
+    // Client 1 never saw the doc; the restarted proxy's memory cache is
+    // empty; the index is empty too — only the disk tier can serve this
+    // without the origin.
+    let r1 = bed.clients[1].fetch(url).unwrap();
+    assert_eq!(r1.source, Source::ProxyDisk, "expected a warm disk hit");
+    assert_eq!(r1.body, r0.body, "disk-served bytes must be exact");
+    assert_eq!(bed.origin.hits(), 1, "origin must not be refetched");
+    assert!(bed.proxy.stats().disk_hits >= 1);
+
+    // The disk hit promoted the doc back into the memory cache: a third
+    // client (whose browser never held it) gets a plain proxy hit.
+    let r2 = bed.clients[2].fetch(url).unwrap();
+    assert_eq!(r2.source, Source::Proxy);
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: Prometheus counters survive a proxy restart — a scraper
+/// sees `baps_requests_total` monotonic across it, not a reset to zero.
+#[test]
+fn metrics_counters_survive_restart() {
+    use baps_obs::prom;
+
+    let dir = disk_dir("counter_baseline");
+    let mut bed = disk_bed(1, &dir, std::time::Duration::from_secs(3600));
+    bed.clients[0].fetch("http://origin/doc/0").unwrap();
+    bed.clients[0].fetch("http://origin/doc/1").unwrap();
+
+    let scrape = |bed: &TestBed| -> f64 {
+        let reply = bed.clients[0].proxy_metrics_raw().unwrap();
+        let text = String::from_utf8(reply.body.to_vec()).unwrap();
+        let samples = prom::parse(&text).expect("exposition parses");
+        prom::find(&samples, "baps_requests_total", &[]).expect("requests_total present")
+    };
+    let before = scrape(&bed);
+    assert_eq!(before, 2.0);
+
+    bed.restart_proxy().expect("proxy restarts in place");
+
+    // The restarted proxy folds the persisted baseline into every
+    // snapshot: the next scrape continues from 2, it does not reset.
+    let r = bed.clients[0].fetch("http://origin/doc/2").unwrap();
+    assert_eq!(r.source, Source::Origin);
+    let after = scrape(&bed);
+    assert_eq!(after, before + 1.0, "requests_total must stay monotonic");
+
+    // STATS agrees, and the balance identity holds on the folded values.
+    let stats = bed.proxy.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(
+        stats.requests,
+        stats.proxy_hits + stats.disk_hits + stats.peer_hits + stats.origin_fetches + stats.errors
+    );
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a proxy killed mid-disk-write leaves a torn file behind.
+/// On restart the corrupted entry fails watermark verification and
+/// self-heals via the origin, while intact entries keep serving warm —
+/// and every body is byte-exact either way.
+#[test]
+fn torn_disk_write_self_heals_after_crash() {
+    let dir = disk_dir("torn_write");
+    let (body0, body1);
+    {
+        let bed = disk_bed(1, &dir, std::time::Duration::from_secs(3600));
+        body0 = bed.clients[0].fetch("http://origin/doc/0").unwrap().body;
+        body1 = bed.clients[0].fetch("http://origin/doc/1").unwrap().body;
+        bed.shutdown();
+    }
+
+    // Simulate the crash mid-append: doc/1's file loses its tail (the
+    // header and URL survive, the body is short). The write path never
+    // fsyncs — this is exactly what a power cut can leave behind.
+    let torn = baps_proxy::disk::entry_path(&dir, "http://origin/doc/1");
+    let bytes = std::fs::read(&torn).expect("doc/1 landed on disk");
+    std::fs::write(&torn, &bytes[..bytes.len() - 10]).unwrap();
+
+    let bed = disk_bed(1, &dir, std::time::Duration::from_secs(3600));
+    // The intact entry serves warm from disk, byte-exact.
+    let r0 = bed.clients[0].fetch("http://origin/doc/0").unwrap();
+    assert_eq!(r0.source, Source::ProxyDisk);
+    assert_eq!(r0.body, body0);
+    // The torn entry fails verification, is deleted, and the request
+    // falls through to the origin — correct bytes, never the torn ones.
+    let r1 = bed.clients[0].fetch("http://origin/doc/1").unwrap();
+    assert_eq!(r1.source, Source::Origin, "torn entry must not serve");
+    assert_eq!(r1.body, body1);
+    assert_eq!(bed.origin.hits(), 1, "only the healed doc hits the origin");
+    let d = bed.proxy.disk_stats().unwrap();
+    assert!(d.heals >= 1, "the torn file must be counted as healed");
+    // The self-heal rewrote doc/1 through to disk: both serve warm now.
+    assert!(!std::fs::read(&torn).unwrap().is_empty());
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a TTL-expired disk entry revalidates against the origin
+/// with a conditional `If-Digest` GET; the 304 refreshes the entry in
+/// place and the document serves from disk without a full refetch.
+#[test]
+fn stale_disk_entry_revalidates_with_304() {
+    let dir = disk_dir("revalidate");
+    // TTL zero: every disk entry is stale the moment it lands.
+    let mut bed = disk_bed(2, &dir, std::time::Duration::ZERO);
+    let url = "http://origin/doc/0";
+
+    let r0 = bed.clients[0].fetch(url).unwrap();
+    assert_eq!(r0.source, Source::Origin);
+
+    // Clear the memory cache so the next fetch reaches the disk tier.
+    bed.restart_proxy().expect("proxy restarts in place");
+
+    let r1 = bed.clients[1].fetch(url).unwrap();
+    assert_eq!(r1.source, Source::ProxyDisk, "revalidated entry serves");
+    assert_eq!(r1.body, r0.body);
+    assert_eq!(bed.origin.hits(), 1, "304 must not transfer the body");
+    assert_eq!(bed.origin.revalidations(), 1, "one conditional GET");
+    assert_eq!(bed.proxy.stats().disk_revalidations, 1);
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: requeued `Evicted` notices survive a dropped connection and
+/// are applied exactly once — replaying the notice (lost-reply model)
+/// leaves the index and the invalidation counter unchanged.
+#[test]
+fn eviction_notices_survive_reconnect_and_apply_once() {
+    use baps_proxy::{read_message, response_code, write_message, Message};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    // Browser fits roughly one document: fetching down the corpus soon
+    // evicts something, and the notice waits for the next GET.
+    let bed = bed(1, 64 << 10, 2_100);
+    let c0 = &bed.clients[0];
+    let mut evicted_url = None;
+    for i in 0..10 {
+        c0.fetch(&format!("http://origin/doc/{i}")).unwrap();
+        if let Some(url) = c0.pending_eviction_notices().first().cloned() {
+            evicted_url = Some(url);
+            break;
+        }
+    }
+    let evicted_url = evicted_url.expect("tiny browser cache must evict");
+    assert!(
+        bed.proxy.index_holds(0, &evicted_url),
+        "the notice rides the next GET, so the index is briefly stale"
+    );
+
+    // The proxy severs the connection before the notice is delivered: the
+    // client must reconnect and the replayed GET still carries it.
+    bed.proxy.drop_connections();
+    c0.fetch("http://origin/doc/12").unwrap();
+    assert_eq!(c0.reconnects(), 1);
+    assert!(
+        !bed.proxy.index_holds(0, &evicted_url),
+        "notice must survive the reconnect"
+    );
+    assert!(
+        !c0.pending_eviction_notices().contains(&evicted_url),
+        "delivered notice must not be requeued"
+    );
+    let applied = bed.proxy.stats().invalidations;
+    assert!(applied >= 1);
+
+    // Lost-reply model: the same notice delivered *again* (a replay) must
+    // be a no-op — not double-counted, not disturbing the index.
+    let stream = TcpStream::connect(bed.proxy.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_message(
+        &mut writer,
+        &Message::new("GET http://origin/doc/13 BAPS/1.0")
+            .header("Client", "0")
+            .header("Evicted", &*evicted_url),
+    )
+    .unwrap();
+    let reply = read_message(&mut reader).unwrap().unwrap();
+    assert_eq!(response_code(&reply), Some(200));
+    assert_eq!(
+        bed.proxy.stats().invalidations,
+        applied,
+        "replayed notice must count as stale, not as a new invalidation"
+    );
     bed.shutdown();
 }

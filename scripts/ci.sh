@@ -22,6 +22,15 @@ echo "== chaos soak (fixed seed)"
 # on any invariant violation.
 cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
 
+echo "== chaos soak, warm-restart mode (fixed seed)"
+# Same deterministic soak with the persistent disk tier enabled and one
+# full in-place proxy restart at mid-schedule: gates that the restarted
+# proxy re-opens its store non-empty, serves disk hits afterwards
+# (post-restart hit ratio > 0), keeps counters monotonic across the
+# restart, and that both runs stay byte-exact and deterministic.
+cargo run --release -q -p baps-bench --bin chaos_soak -- \
+    --seed 42 --requests 2000 --restart-warm
+
 echo "== metrics smoke (METRICS exposition + recording-overhead gate)"
 # Scrapes METRICS BAPS/1.0 over the wire under load and asserts the
 # exposition parses, requests_total = served-by-tier + errors, and the

@@ -47,6 +47,7 @@ fn replay_synthetic_trace_through_live_proxy() {
         let label = match result.source {
             Source::LocalBrowser => "local",
             Source::Proxy => "proxy",
+            Source::ProxyDisk => "disk",
             Source::Peer => "peer",
             Source::Origin => "origin",
         };
