@@ -33,19 +33,36 @@
 //! ring (the last ~8k span events before the violation, trace ids
 //! included), prints a reproduction command, and exits nonzero.
 //!
+//! With `--scenario <name>` the random schedule is replaced by one of
+//! the deterministic adversarial shapes from `baps_trace::scenarios`
+//! (`flash-crowd`, `invalidation-storm`, `diurnal-swing`, `heavy-tail`),
+//! replayed sequentially against a disk-backed deployment with **no**
+//! injected faults — the workload shape is the adversary. The same
+//! invariants apply (byte-exact watermark-valid bodies, bounded tails,
+//! counter balance, run-to-run determinism), `Invalidate` ops execute
+//! the full publisher protocol (origin mutate + piggybacked replica
+//! discards + one wire INVALIDATE), and `flash-crowd` additionally runs
+//! a 16-worker thundering-herd probe that must coalesce to exactly one
+//! origin fetch.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p baps-bench --bin chaos_soak -- \
 //!     [--seed N] [--requests N] [--clients N] [--docs N] \
-//!     [--intensity F] [--direct] [--once] [--restart-warm]
+//!     [--intensity F] [--direct] [--once] [--restart-warm] \
+//!     [--scenario NAME]
 //! ```
 
+use baps_bench::scenario::{
+    bed_config, flash_crowd_herd, replay_schedule, scenario_corpus, ScenarioTally,
+};
 use baps_obs::{EventKind, TraceId};
 use baps_proxy::fault::FaultKind;
 use baps_proxy::{
     DocumentStore, FaultConfig, FaultCounts, FaultPlan, ProxyError, Source, TestBed, TestBedConfig,
 };
+use baps_trace::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -66,6 +83,7 @@ struct SoakArgs {
     direct: bool,
     once: bool,
     restart_warm: bool,
+    scenario: Option<Scenario>,
 }
 
 impl Default for SoakArgs {
@@ -79,15 +97,20 @@ impl Default for SoakArgs {
             direct: false,
             once: false,
             restart_warm: false,
+            scenario: None,
         }
     }
 }
 
 impl SoakArgs {
+    /// The full parameter set as a copy-pasteable invocation. This is
+    /// the *complete* reproduction recipe — every knob that shapes the
+    /// schedule (profile/scenario included) appears here, and the same
+    /// line heads the flight-recorder dump on failure.
     fn repro_line(&self) -> String {
         format!(
             "cargo run --release -p baps-bench --bin chaos_soak -- \
-             --seed {} --requests {} --clients {} --docs {} --intensity {}{}{}{}",
+             --seed {} --requests {} --clients {} --docs {} --intensity {}{}{}{}{}",
             self.seed,
             self.requests,
             self.clients,
@@ -99,6 +122,10 @@ impl SoakArgs {
                 " --restart-warm"
             } else {
                 ""
+            },
+            match self.scenario {
+                Some(s) => format!(" --scenario {}", s.name()),
+                None => String::new(),
             },
         )
     }
@@ -369,6 +396,265 @@ fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
     }
 }
 
+/// Workers in the flash-crowd thundering-herd probe.
+const HERD_WORKERS: u32 = 16;
+
+/// Bounded-tails gate for scenario replays: the p99.9 client-observed
+/// fetch latency must stay under this on loopback. Generous against
+/// scheduler jitter on shared hosts, but far below anything a stranded
+/// waiter or retry loop would produce.
+const TAIL_BUDGET_MS: f64 = 500.0;
+
+/// Report of one sequential scenario replay (plus the herd probe when
+/// the scenario is `flash-crowd`).
+struct ScenarioReport {
+    tally: ScenarioTally,
+    invalidation_msgs: u64,
+    origin_fetches: u64,
+    coalesced_fetches: u64,
+    disk_revalidations: u64,
+    p99_ms: f64,
+    p999_ms: f64,
+    req_per_sec: f64,
+    wall: Duration,
+    /// `(workers, origin_fetches, coalesced)` of the herd probe.
+    herd: Option<(u32, u64, u64)>,
+    violations: Vec<String>,
+    recorder_dump: Option<String>,
+}
+
+fn run_scenario_soak(scenario: Scenario, args: SoakArgs, run: u32) -> ScenarioReport {
+    let cfg = scenario.config(args.requests, args.clients, args.docs as u32);
+    let schedule = cfg.generate(args.seed);
+    let (store, mut expected) = scenario_corpus(&schedule, args.seed);
+    // Each run gets its own disk root so the determinism pair compares
+    // two cold starts.
+    let disk_root = std::env::temp_dir().join(format!(
+        "baps_scenario_{}_{}_run{}",
+        scenario.name(),
+        args.seed,
+        run
+    ));
+    let _ = std::fs::remove_dir_all(&disk_root);
+    let bed = TestBed::start(store, bed_config(&cfg, Some(disk_root.clone())))
+        .expect("scenario bed starts");
+
+    let outcome = replay_schedule(&bed, &schedule, &mut expected, args.seed, FETCH_DEADLINE);
+    let mut violations = outcome.violations;
+
+    let stats = bed.proxy.stats();
+    if stats.requests
+        != stats.proxy_hits
+            + stats.disk_hits
+            + stats.peer_hits
+            + stats.origin_fetches
+            + stats.errors
+    {
+        violate(
+            &bed,
+            &mut violations,
+            format!(
+                "proxy counter imbalance: requests {} != proxy_hits {} + disk_hits {} \
+                 + peer_hits {} + origin_fetches {} + errors {}",
+                stats.requests,
+                stats.proxy_hits,
+                stats.disk_hits,
+                stats.peer_hits,
+                stats.origin_fetches,
+                stats.errors
+            ),
+        );
+    }
+    if outcome.tally.successes() + outcome.tally.failed != schedule.gets() {
+        violate(
+            &bed,
+            &mut violations,
+            format!(
+                "driver tally imbalance: {} successes + {} failures != {} gets",
+                outcome.tally.successes(),
+                outcome.tally.failed,
+                schedule.gets()
+            ),
+        );
+    }
+    let p999 = outcome.histo.quantile_ms(0.999);
+    if p999 > TAIL_BUDGET_MS {
+        violate(
+            &bed,
+            &mut violations,
+            format!("unbounded tail: p99.9 {p999:.3} ms exceeds {TAIL_BUDGET_MS} ms"),
+        );
+    }
+    if scenario == Scenario::InvalidationStorm {
+        // The storm must force real revalidation waves: unchanged docs
+        // come back via If-Digest 304s, not blind disk serves.
+        if bed.origin.revalidations() == 0 {
+            violate(
+                &bed,
+                &mut violations,
+                "storm produced no origin If-Digest revalidations".into(),
+            );
+        }
+        if stats.disk_revalidations == 0 {
+            violate(
+                &bed,
+                &mut violations,
+                "storm produced no disk-tier revalidations".into(),
+            );
+        }
+    }
+
+    // The flash-crowd moment itself: a cold viral doc hit by HERD_WORKERS
+    // concurrent clients must cost exactly one origin fetch per TTL
+    // window — the miss-coalescing acceptance gate.
+    let herd =
+        (scenario == Scenario::FlashCrowd).then(|| flash_crowd_herd(args.seed, HERD_WORKERS));
+    let herd_summary = herd.as_ref().map(|probe| {
+        for v in &probe.violations {
+            violate(&bed, &mut violations, format!("herd: {v}"));
+        }
+        if probe.origin_fetches != 1 {
+            violate(
+                &bed,
+                &mut violations,
+                format!(
+                    "thundering herd of {} cost {} origin fetches (coalescing must make it 1)",
+                    probe.herd, probe.origin_fetches
+                ),
+            );
+        }
+        if probe.coalesced_fetches != u64::from(probe.herd) - 1 {
+            violate(
+                &bed,
+                &mut violations,
+                format!(
+                    "herd coalescing counter {} != {} (herd - 1)",
+                    probe.coalesced_fetches,
+                    probe.herd - 1
+                ),
+            );
+        }
+        if probe.errors != 0 {
+            violate(
+                &bed,
+                &mut violations,
+                format!("herd probe saw {} proxy errors", probe.errors),
+            );
+        }
+        (probe.herd, probe.origin_fetches, probe.coalesced_fetches)
+    });
+
+    let recorder_dump = (!violations.is_empty()).then(|| bed.recorder.render());
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&disk_root);
+    ScenarioReport {
+        tally: outcome.tally,
+        invalidation_msgs: outcome.invalidation_msgs,
+        origin_fetches: stats.origin_fetches,
+        coalesced_fetches: stats.coalesced_fetches,
+        disk_revalidations: stats.disk_revalidations,
+        p99_ms: outcome.histo.quantile_ms(0.99),
+        p999_ms: p999,
+        req_per_sec: schedule.gets() as f64 / outcome.wall.as_secs_f64(),
+        wall: outcome.wall,
+        herd: herd_summary,
+        violations,
+        recorder_dump,
+    }
+}
+
+fn print_scenario_report(label: &str, scenario: Scenario, args: SoakArgs, r: &ScenarioReport) {
+    println!("--- {label} ---");
+    println!(
+        "scenario : {} — seed {}, {} requests, {} clients, {} docs, {} invalidation msgs",
+        scenario.name(),
+        args.seed,
+        args.requests,
+        args.clients,
+        args.docs,
+        r.invalidation_msgs,
+    );
+    println!(
+        "outcomes : local {} | proxy {} | disk {} | peer {} | origin {} | degraded-errors {}",
+        r.tally.local, r.tally.proxy, r.tally.disk, r.tally.peer, r.tally.origin, r.tally.failed
+    );
+    println!(
+        "proxy    : origin_fetches {} | coalesced_fetches {} | disk_revalidations {}",
+        r.origin_fetches, r.coalesced_fetches, r.disk_revalidations
+    );
+    println!(
+        "tails    : p99 {:.3} ms | p99.9 {:.3} ms | {:.0} req/s | wall {:.2} s",
+        r.p99_ms,
+        r.p999_ms,
+        r.req_per_sec,
+        r.wall.as_secs_f64()
+    );
+    if let Some((workers, origin, coalesced)) = r.herd {
+        println!(
+            "herd     : {workers} concurrent workers on a cold doc -> \
+             {origin} origin fetch(es), {coalesced} coalesced"
+        );
+    }
+}
+
+fn scenario_main(scenario: Scenario, args: SoakArgs) {
+    println!(
+        "chaos_soak --scenario {}: {} requests replayed fault-free (seed {}; \
+         --intensity/--direct/--restart-warm do not apply)\n",
+        scenario.name(),
+        args.requests,
+        args.seed
+    );
+    let first = run_scenario_soak(scenario, args, 1);
+    print_scenario_report("run 1", scenario, args, &first);
+    if !first.violations.is_empty() {
+        fail(args, &first.violations, first.recorder_dump.as_deref());
+    }
+
+    if !args.once {
+        let second = run_scenario_soak(scenario, args, 2);
+        println!();
+        print_scenario_report("run 2", scenario, args, &second);
+        if !second.violations.is_empty() {
+            fail(args, &second.violations, second.recorder_dump.as_deref());
+        }
+        let mut determinism = Vec::new();
+        if first.tally != second.tally {
+            determinism.push(format!(
+                "outcome tally mismatch: run1 {:?} != run2 {:?}",
+                first.tally, second.tally
+            ));
+        }
+        for (name, a, b) in [
+            (
+                "invalidation_msgs",
+                first.invalidation_msgs,
+                second.invalidation_msgs,
+            ),
+            (
+                "origin_fetches",
+                first.origin_fetches,
+                second.origin_fetches,
+            ),
+            (
+                "disk_revalidations",
+                first.disk_revalidations,
+                second.disk_revalidations,
+            ),
+        ] {
+            if a != b {
+                determinism.push(format!("{name} mismatch: run1 {a} != run2 {b}"));
+            }
+        }
+        if !determinism.is_empty() {
+            fail(args, &determinism, second.recorder_dump.as_deref());
+        }
+        println!("\ndeterminism: outcome tallies and proxy counters identical across runs");
+    }
+
+    println!("\nall invariants held");
+}
+
 fn print_report(label: &str, args: SoakArgs, r: &SoakReport) {
     println!("--- {label} ---");
     println!(
@@ -409,7 +695,8 @@ fn parse_args() -> SoakArgs {
     let mut out = SoakArgs::default();
     let mut args = std::env::args().skip(1);
     let usage = "usage: chaos_soak [--seed N] [--requests N] [--clients N] [--docs N] \
-                 [--intensity F] [--direct] [--once] [--restart-warm]";
+                 [--intensity F] [--direct] [--once] [--restart-warm] \
+                 [--scenario flash-crowd|invalidation-storm|diurnal-swing|heavy-tail]";
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next().unwrap_or_else(|| {
@@ -428,6 +715,13 @@ fn parse_args() -> SoakArgs {
             "--direct" => out.direct = true,
             "--once" => out.once = true,
             "--restart-warm" => out.restart_warm = true,
+            "--scenario" => {
+                let name = value("--scenario");
+                out.scenario = Some(Scenario::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scenario {name:?}\n{usage}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown flag {other:?}\n{usage}");
                 std::process::exit(2);
@@ -445,7 +739,10 @@ fn fail(args: SoakArgs, violations: &[String], recorder_dump: Option<&str>) -> !
     if let Some(dump) = recorder_dump {
         // The ring holds the spans (with trace ids) leading up to the
         // violation — the VIOLATION events themselves are interleaved at
-        // the positions where each invariant broke.
+        // the positions where each invariant broke. The header carries
+        // the full parameter set (profile/scenario included) so a pasted
+        // dump is reproducible on its own.
+        eprintln!("=== flight-recorder dump | {} ===", args.repro_line());
         eprintln!("{dump}");
     }
     for v in violations {
@@ -457,6 +754,10 @@ fn fail(args: SoakArgs, violations: &[String], recorder_dump: Option<&str>) -> !
 
 fn main() {
     let args = parse_args();
+    if let Some(scenario) = args.scenario {
+        scenario_main(scenario, args);
+        return;
+    }
     println!(
         "chaos_soak: {} requests under seeded fault injection (seed {})\n",
         args.requests, args.seed

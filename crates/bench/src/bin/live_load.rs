@@ -34,11 +34,21 @@
 //! `--smoke` is the CI gate: one `--metrics`-style run (every scrape
 //! assertion applies), then the overhead A/B, exiting nonzero if
 //! always-on recording costs more than 3% throughput.
+//!
+//! `--scenario <name>` replays one adversarial workload shape from
+//! `baps_trace::scenarios` (`flash-crowd`, `invalidation-storm`,
+//! `diurnal-swing`, `heavy-tail`) concurrently — per-client `Get` queues
+//! plus a dedicated publisher client driving the `Invalidate` stream —
+//! and prints its throughput/tail point. `--sweep` measures all four and
+//! records them as the `scenarios` block of `BENCH_live.json`.
 
+use baps_bench::scenario::{bed_config, flash_crowd_herd, scenario_corpus, url_of};
 use baps_obs::{prom, LatencyHistogram};
 use baps_proxy::{DocumentStore, TestBed, TestBedConfig};
+use baps_trace::{DocId, Scenario, ScenarioOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -296,6 +306,7 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
 
     let overhead = measure_overhead(n_docs);
     let disk = measure_disk_tier(total, n_docs);
+    let scenarios = measure_scenarios(total, n_docs);
 
     // The in-tree serde shim is a no-op, so the JSON is rendered by hand.
     let mut json = String::new();
@@ -324,6 +335,36 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
             r.wall_secs,
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, p) in scenarios.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"workers\": {SCENARIO_WORKERS}, \"requests\": {}, \
+             \"req_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"p999_ms\": {:.3}, \"origin_fetches\": {}, \"origin_fetches_per_doc\": {:.2}, \
+             \"coalesced_fetches\": {}, \"invalidation_msgs\": {}",
+            p.scenario.name(),
+            p.requests,
+            p.req_per_sec,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+            p.origin_fetches,
+            p.origin_fetches_per_doc,
+            p.coalesced_fetches,
+            p.invalidation_msgs,
+        );
+        if let Some((workers, origin, coalesced)) = p.herd {
+            let _ = write!(
+                json,
+                ", \"herd_workers\": {workers}, \"herd_origin_fetches\": {origin}, \
+                 \"herd_coalesced_fetches\": {coalesced}"
+            );
+        }
+        json.push('}');
+        json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"disk_tier\": {\n");
@@ -613,6 +654,180 @@ fn measure_disk_tier(total: u32, n_docs: usize) -> DiskReport {
     report
 }
 
+/// Workers driving `Get` traffic in a scenario point (a dedicated extra
+/// client acts as the invalidation publisher).
+const SCENARIO_WORKERS: u32 = 8;
+
+/// Herd size of the flash-crowd coalescing probe.
+const SCENARIO_HERD: u32 = 16;
+
+/// One adversarial-scenario measurement for `BENCH_live.json`.
+struct ScenarioPoint {
+    scenario: Scenario,
+    requests: u64,
+    invalidation_msgs: u64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    origin_fetches: u64,
+    /// Origin fetches divided by the number of distinct documents the
+    /// schedule touches: the redundant-fetch factor. Near 1.0 means each
+    /// doc was fetched from the origin about once despite churn.
+    origin_fetches_per_doc: f64,
+    coalesced_fetches: u64,
+    /// `(workers, origin_fetches, coalesced)` of the herd probe
+    /// (flash-crowd only).
+    herd: Option<(u32, u64, u64)>,
+}
+
+impl ScenarioPoint {
+    fn print(&self) {
+        println!(
+            "{:<18} {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   p99.9 {:>7.3} ms   \
+             origin {:>5} ({:.2}/doc)   coalesced {:>4}   invalidations {:>4}",
+            self.scenario.name(),
+            self.req_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.origin_fetches,
+            self.origin_fetches_per_doc,
+            self.coalesced_fetches,
+            self.invalidation_msgs,
+        );
+        if let Some((workers, origin, coalesced)) = self.herd {
+            println!(
+                "{:<18} herd: {workers} workers on a cold doc -> {origin} origin fetch(es), \
+                 {coalesced} coalesced",
+                ""
+            );
+        }
+    }
+}
+
+/// Replays one scenario schedule concurrently: every scenario client
+/// becomes a worker thread draining its own `Get` queue while one extra
+/// publisher client drives the `Invalidate` stream (origin mutate on
+/// every other update + piggybacked replica discards + one wire
+/// INVALIDATE each). Content checking is the job of the sequential
+/// `chaos_soak --scenario` gate; this measures what the shape costs.
+fn run_scenario_point(scenario: Scenario, total: u32, n_docs: usize) -> ScenarioPoint {
+    let seed = scenario.canonical_seed();
+    let cfg = scenario.config(total as u64, SCENARIO_WORKERS, n_docs as u32);
+    let schedule = cfg.generate(seed);
+    let (store, _expected) = scenario_corpus(&schedule, seed);
+    let disk_root = std::env::temp_dir().join(format!(
+        "baps_live_scenario_{}_{}",
+        scenario.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&disk_root);
+    let mut tbc = bed_config(&cfg, Some(disk_root.clone()));
+    tbc.n_clients += 1; // the publisher
+    let bed = TestBed::start(store, tbc).expect("scenario bed starts");
+    for client in &bed.clients {
+        client.set_keep_alive(true);
+    }
+
+    let mut gets: Vec<Vec<DocId>> = vec![Vec::new(); SCENARIO_WORKERS as usize];
+    let mut invalidations: Vec<DocId> = Vec::new();
+    let mut touched: HashSet<u32> = HashSet::new();
+    for op in &schedule.ops {
+        match op {
+            ScenarioOp::Get { client, doc } => {
+                gets[client.0 as usize].push(*doc);
+                touched.insert(doc.0);
+            }
+            ScenarioOp::Invalidate { doc } => invalidations.push(*doc),
+        }
+    }
+
+    let (publisher, workers) = bed.clients.split_last().expect("bed has clients");
+    let t0 = Instant::now();
+    let histos: Vec<LatencyHistogram> = std::thread::scope(|scope| {
+        let doc_sizes = &schedule.doc_sizes;
+        let origin = &bed.origin;
+        let worker_refs = workers;
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x009b_115b);
+            for (seq, doc) in invalidations.iter().enumerate() {
+                let url = url_of(*doc);
+                if seq.is_multiple_of(2) {
+                    let mut next = vec![0u8; doc_sizes[doc.0 as usize] as usize];
+                    rng.fill(next.as_mut_slice());
+                    origin.mutate(&url, next);
+                }
+                for client in worker_refs {
+                    client.discard(&url);
+                }
+                publisher
+                    .publish_invalidate(&url)
+                    .expect("publisher INVALIDATE succeeds");
+            }
+        });
+        let handles: Vec<_> = workers
+            .iter()
+            .zip(&gets)
+            .map(|(client, queue)| {
+                scope.spawn(move || {
+                    let mut histo = LatencyHistogram::new();
+                    for doc in queue {
+                        let url = url_of(*doc);
+                        let t = Instant::now();
+                        client.fetch(&url).expect("fetch succeeds under load");
+                        histo.record(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    histo
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut histo = LatencyHistogram::new();
+    for h in &histos {
+        histo.merge(h);
+    }
+    let stats = bed.proxy.stats();
+    bed.shutdown();
+    let _ = std::fs::remove_dir_all(&disk_root);
+
+    let herd = (scenario == Scenario::FlashCrowd).then(|| {
+        let probe = flash_crowd_herd(seed, SCENARIO_HERD);
+        assert!(probe.violations.is_empty(), "{:?}", probe.violations);
+        (probe.herd, probe.origin_fetches, probe.coalesced_fetches)
+    });
+
+    ScenarioPoint {
+        scenario,
+        requests: histo.count(),
+        invalidation_msgs: schedule.invalidations(),
+        req_per_sec: histo.count() as f64 / wall_secs,
+        p50_ms: histo.quantile_ms(0.50),
+        p99_ms: histo.quantile_ms(0.99),
+        p999_ms: histo.quantile_ms(0.999),
+        origin_fetches: stats.origin_fetches,
+        origin_fetches_per_doc: stats.origin_fetches as f64 / touched.len().max(1) as f64,
+        coalesced_fetches: stats.coalesced_fetches,
+        herd,
+    }
+}
+
+/// Measures all four adversarial scenarios for the sweep's JSON block.
+fn measure_scenarios(total: u32, n_docs: usize) -> Vec<ScenarioPoint> {
+    println!("\nadversarial scenarios ({SCENARIO_WORKERS} workers + 1 publisher, {total} requests each):");
+    Scenario::all()
+        .into_iter()
+        .map(|scenario| {
+            let point = run_scenario_point(scenario, total, n_docs);
+            point.print();
+            point
+        })
+        .collect()
+}
+
 /// CI smoke: scrape `METRICS BAPS/1.0` under load (parse + balance
 /// assertions live in [`summarize_metrics`]), then gate on the recording
 /// overhead staying under 3%. The overhead estimate rides on loopback
@@ -668,6 +883,7 @@ fn main() {
     let mut sweep = false;
     let mut smoke = false;
     let mut metrics = false;
+    let mut scenario = None;
     let mut out_path = "BENCH_live.json".to_owned();
     let mut positional = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -676,6 +892,19 @@ fn main() {
             "--sweep" => sweep = true,
             "--smoke" => smoke = true,
             "--metrics" => metrics = true,
+            "--scenario" => {
+                let name = raw.next().unwrap_or_else(|| {
+                    eprintln!("--scenario needs a name");
+                    std::process::exit(2);
+                });
+                scenario = Some(Scenario::parse(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scenario {name:?} (one of: flash-crowd, invalidation-storm, \
+                         diurnal-swing, heavy-tail)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--out" => {
                 out_path = raw.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -686,6 +915,18 @@ fn main() {
         }
     }
     let mut args = positional.into_iter();
+
+    if let Some(scenario) = scenario {
+        let total: u32 = arg(args.next(), "total_requests", 8000);
+        let n_docs: usize = arg(args.next(), "n_docs", 64);
+        println!(
+            "live_load --scenario {}: {SCENARIO_WORKERS} workers + 1 publisher, \
+             {total} requests, {n_docs} docs\n",
+            scenario.name()
+        );
+        run_scenario_point(scenario, total, n_docs).print();
+        return;
+    }
 
     if sweep {
         let total: u32 = arg(args.next(), "total_requests", 8000);

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod scenario;
+
 use baps_trace::{Profile, Trace, TraceStats};
 
 /// Command-line options common to all experiment binaries.

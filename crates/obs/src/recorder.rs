@@ -58,6 +58,9 @@ pub enum EventKind {
     DiskRead,
     /// Proxy: a disk-tier write (write-through after an origin fetch).
     DiskWrite,
+    /// Proxy: a miss coalesced onto another request's in-flight fetch
+    /// (the span is the time spent parked on the flight's condvar).
+    Coalesced,
     /// An invariant violation (chaos soak, live test); always recorded.
     Violation,
 }
@@ -79,6 +82,7 @@ impl EventKind {
             EventKind::Invalidate => "invalidate",
             EventKind::DiskRead => "disk-read",
             EventKind::DiskWrite => "disk-write",
+            EventKind::Coalesced => "coalesced",
             EventKind::Violation => "VIOLATION",
         }
     }

@@ -683,6 +683,38 @@ impl ClientAgent {
         Ok(present)
     }
 
+    /// Discards `url` from the browser cache because its content changed
+    /// upstream, queueing a piggybacked eviction notice instead of a
+    /// synchronous INVALIDATE round trip. During an invalidation storm
+    /// this is what keeps wire traffic bounded: N clients discarding a
+    /// doc cost zero extra messages (the notices ride the next GETs),
+    /// versus N INVALIDATE round trips. Returns whether it was cached.
+    pub fn discard(&self, url: &str) -> bool {
+        let present = self.state.cache.lock().remove(url);
+        if present {
+            self.requeue_evictions(vec![url.to_string()]);
+        }
+        present
+    }
+
+    /// Publisher-side invalidation: tells the proxy `url`'s content
+    /// changed at the origin, so the proxy must drop its memory replica
+    /// and expire (not delete) its disk replica — the next read
+    /// revalidates with `If-Digest`. One wire message per changed doc,
+    /// regardless of how many clients hold replicas; the holders clean up
+    /// via [`ClientAgent::discard`] + piggybacked notices.
+    pub fn publish_invalidate(&self, url: &str) -> Result<(), ProxyError> {
+        let reply = self.roundtrip(
+            Message::new(format!("INVALIDATE {url} BAPS/1.0"))
+                .header("Client", self.id.to_string())
+                .header("Purge", "1"),
+        )?;
+        if response_code(&reply) != Some(status::OK) {
+            return Err(ProxyError::Protocol("invalidate rejected".into()));
+        }
+        Ok(())
+    }
+
     /// One request/response against the proxy.
     ///
     /// With keep-alive on, the persistent connection is dialed lazily on

@@ -348,6 +348,36 @@ impl DiskTier {
         }
     }
 
+    /// Expires `url` in place: the entry is kept (bytes, digest and
+    /// watermark stay valid) but its `stored_at` is stamped to zero, so
+    /// the next read sees it stale and must revalidate against the origin
+    /// with `If-Digest` before serving. This is the invalidation-storm
+    /// path: a publisher update must force a revalidation, but an
+    /// unchanged document should still come back as a cheap `304` rather
+    /// than a refetch. Returns whether an entry was expired.
+    pub fn expire(&self, url: &str) -> bool {
+        {
+            let mut inner = self.inner.lock();
+            let Some(id) = inner.urls.get(url) else {
+                return false;
+            };
+            let Some(meta) = inner.meta.get_mut(&id) else {
+                return false;
+            };
+            meta.stored_at = 0;
+        }
+        let path = entry_path(&self.root, url);
+        let stamp = (|| -> io::Result<()> {
+            let mut file = fs::OpenOptions::new().write(true).open(&path)?;
+            file.seek(SeekFrom::Start(STORED_AT_OFFSET))?;
+            file.write_all(&0u64.to_le_bytes())
+        })();
+        if stamp.is_err() {
+            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
     /// Drops `url` from the tier (e.g. the origin 404'd a revalidation:
     /// the document is gone and the stale copy must not outlive it).
     /// Returns whether an entry was removed.

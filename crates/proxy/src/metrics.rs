@@ -71,6 +71,11 @@ pub(crate) fn render(state: &ProxyState) -> String {
         "Requests that degraded from the peer path to the origin.",
         s.peer_fallbacks,
     );
+    out.counter(
+        "baps_coalesced_fetches_total",
+        "Misses coalesced onto another request's in-flight fetch.",
+        s.coalesced_fetches,
+    );
 
     // Proxy cache: aggregate occupancy plus hit/eviction counters from the
     // body caches themselves, then per-shard gauges for skew diagnosis.

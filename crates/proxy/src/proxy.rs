@@ -24,7 +24,7 @@ use crate::store::CachedDoc;
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
 use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, Tier, TraceId, TIER_NAMES};
 use baps_trace::{ClientId, DocId, Interner};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -149,6 +149,13 @@ pub struct ProxyCounters {
     /// GET requests answered with an error (404 or 5xx) instead of a
     /// document.
     pub errors: AtomicU64,
+    /// Concurrent misses for the same document that were coalesced onto
+    /// another request's in-flight fetch instead of fetching themselves
+    /// (the thundering-herd guard). Followers are counted under
+    /// `proxy_hits` (success) or `errors` (broadcast failure); this
+    /// counter is the diagnostic overlay saying how many of those were
+    /// coalesced.
+    pub coalesced_fetches: AtomicU64,
 }
 
 impl ProxyCounters {
@@ -174,6 +181,7 @@ impl ProxyCounters {
             direct_pushes: self.direct_pushes.load(Ordering::Relaxed),
             peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
             errors,
+            coalesced_fetches: self.coalesced_fetches.load(Ordering::Relaxed),
         }
     }
 }
@@ -208,6 +216,10 @@ pub struct ProxyStats {
     pub peer_fallbacks: u64,
     /// GET requests answered with an error instead of a document.
     pub errors: u64,
+    /// Requests that coalesced onto another request's in-flight fetch (a
+    /// diagnostic overlay on `proxy_hits`/`errors`, outside the balance
+    /// identity).
+    pub coalesced_fetches: u64,
 }
 
 impl ProxyStats {
@@ -227,6 +239,7 @@ impl ProxyStats {
         self.direct_pushes += base.direct_pushes;
         self.peer_fallbacks += base.peer_fallbacks;
         self.errors += base.errors;
+        self.coalesced_fetches += base.coalesced_fetches;
         self
     }
 }
@@ -284,6 +297,11 @@ pub(crate) struct ProxyState {
     pub(crate) disk: Option<DiskTier>,
     /// Idle keep-alive connections to the origin, reused across fetches.
     origin_pool: Mutex<Vec<OriginConn>>,
+    /// Per-document in-flight miss registry (thundering-herd coalescing):
+    /// the first miss for a doc becomes the leader and fetches; concurrent
+    /// misses park on the entry's condvar and share the leader's outcome.
+    /// The lock guards only the map — never the fetch itself.
+    inflight: Mutex<HashMap<DocId, Arc<Inflight>>>,
 }
 
 impl ProxyState {
@@ -366,6 +384,7 @@ impl ProxyServer {
             },
             disk,
             origin_pool: Mutex::new(Vec::new()),
+            inflight: Mutex::new(HashMap::new()),
         });
         let pool = {
             let state = Arc::clone(&state);
@@ -546,7 +565,7 @@ fn persist_baseline(root: &std::path::Path, s: &ProxyStats) {
     let text = format!(
         "proxy_hits={}\ndisk_hits={}\ndisk_revalidations={}\npeer_hits={}\n\
          origin_fetches={}\ninvalidations={}\npeer_failures={}\n\
-         direct_pushes={}\npeer_fallbacks={}\nerrors={}\n",
+         direct_pushes={}\npeer_fallbacks={}\nerrors={}\ncoalesced_fetches={}\n",
         s.proxy_hits,
         s.disk_hits,
         s.disk_revalidations,
@@ -557,6 +576,7 @@ fn persist_baseline(root: &std::path::Path, s: &ProxyStats) {
         s.direct_pushes,
         s.peer_fallbacks,
         s.errors,
+        s.coalesced_fetches,
     );
     let _ = std::fs::write(root.join(BASELINE_FILE), text);
 }
@@ -585,6 +605,7 @@ fn load_baseline(root: &std::path::Path) -> ProxyStats {
                 "direct_pushes" => s.direct_pushes = value,
                 "peer_fallbacks" => s.peer_fallbacks = value,
                 "errors" => s.errors = value,
+                "coalesced_fetches" => s.coalesced_fetches = value,
                 _ => {}
             }
         }
@@ -653,6 +674,12 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
         }
         ["INVALIDATE", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
+            // `Purge: 1` marks a *publisher* invalidation: the document
+            // changed at the origin, so the proxy's own replicas must go
+            // too, not just the sender's index entry.
+            if msg.get("Purge").is_some() {
+                handle_purge(url, trace, state);
+            }
             handle_invalidate(url, client, trace, state);
             Some(response(status::OK, "OK"))
         }
@@ -733,6 +760,236 @@ fn handle_get(
         return ok_response("proxy", &cached);
     }
 
+    // 1c. Thundering-herd coalescing (singleflight). The first miss for a
+    // doc becomes the *leader* and runs the full miss path; concurrent
+    // misses for the same doc park on the flight's condvar and share the
+    // leader's outcome — one backend fetch per herd, not one per waiter.
+    // The no-lock-across-I/O rule holds: the registry mutex is held only
+    // for the map operation, and the leader fetches holding no lock.
+    let wait_budget = state.config.origin_deadline() + state.config.peer_deadline();
+    let mut attempt = 0usize;
+    loop {
+        attempt += 1;
+        match join_inflight(state, doc) {
+            FlightRole::Leader(entry) => {
+                let leader = FlightLeader {
+                    state,
+                    doc,
+                    entry,
+                    published: false,
+                };
+                let (reply, outcome) = handle_miss(
+                    url,
+                    client,
+                    bypass_peers,
+                    trace,
+                    state,
+                    doc,
+                    requester,
+                    t_request,
+                );
+                leader.publish(outcome);
+                return reply;
+            }
+            FlightRole::Follower(entry) => {
+                let t_wait = Instant::now();
+                let outcome = if attempt < MAX_FLIGHT_JOINS {
+                    entry.wait(wait_budget)
+                } else {
+                    FlightOutcome::Unshared
+                };
+                match outcome {
+                    FlightOutcome::Doc(cached) => {
+                        state
+                            .counters
+                            .coalesced_fetches
+                            .fetch_add(1, Ordering::Relaxed);
+                        state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
+                        state.index.on_store(requester, doc);
+                        state.obs.recorder.record(
+                            trace,
+                            EventKind::Coalesced,
+                            t_wait.elapsed(),
+                            format!("url={url} outcome=ok"),
+                        );
+                        state
+                            .obs
+                            .tiers
+                            .record(Tier::Proxy.index(), t_request.elapsed());
+                        return ok_response("proxy", &cached);
+                    }
+                    FlightOutcome::Error(code, reason) => {
+                        // The leader's failure is broadcast: every waiter
+                        // fails the same way instead of dogpiling a dead
+                        // origin — and instead of hanging.
+                        state
+                            .counters
+                            .coalesced_fetches
+                            .fetch_add(1, Ordering::Relaxed);
+                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        state.obs.recorder.record(
+                            trace,
+                            EventKind::Coalesced,
+                            t_wait.elapsed(),
+                            format!("url={url} outcome=err code={code}"),
+                        );
+                        return response(code, &reason);
+                    }
+                    FlightOutcome::Unshared => {
+                        // The flight ended without a shareable outcome (a
+                        // direct push carries no body; an unwound leader
+                        // publishes this from Drop; or the wait budget ran
+                        // out). The doc may have landed in memory in the
+                        // meantime; otherwise retry, degrading to an
+                        // uncoalesced miss after MAX_FLIGHT_JOINS rounds
+                        // so no request loops forever.
+                        if let Some(cached) = state.cache.get(doc, url) {
+                            state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
+                            state.index.on_store(requester, doc);
+                            state
+                                .obs
+                                .tiers
+                                .record(Tier::Proxy.index(), t_request.elapsed());
+                            return ok_response("proxy", &cached);
+                        }
+                        if attempt >= MAX_FLIGHT_JOINS {
+                            let (reply, _) = handle_miss(
+                                url,
+                                client,
+                                bypass_peers,
+                                trace,
+                                state,
+                                doc,
+                                requester,
+                                t_request,
+                            );
+                            return reply;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rounds through the in-flight registry a request makes before giving up
+/// on coalescing and fetching for itself (guards against pathological
+/// chains of unshareable outcomes).
+const MAX_FLIGHT_JOINS: usize = 3;
+
+/// How a request relates to the in-flight registry entry for its doc.
+enum FlightRole {
+    /// This request created the entry: it must fetch, then publish.
+    Leader(Arc<Inflight>),
+    /// Another request is already fetching this doc: park and share.
+    Follower(Arc<Inflight>),
+}
+
+/// One in-flight miss: the slot the leader fills and the condvar the
+/// followers park on.
+struct Inflight {
+    slot: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    /// Parks until the leader publishes or `budget` elapses.
+    fn wait(&self, budget: Duration) -> FlightOutcome {
+        let start = Instant::now();
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            let Some(remaining) = budget.checked_sub(start.elapsed()) else {
+                // The leader overran every backend deadline combined; stop
+                // trusting it and fend for ourselves.
+                return FlightOutcome::Unshared;
+            };
+            self.cv.wait_for(&mut slot, remaining);
+        }
+    }
+}
+
+/// What a coalescing leader hands its followers.
+#[derive(Clone)]
+enum FlightOutcome {
+    /// The miss produced a verified document; followers share the body
+    /// (`Body` is `Arc<[u8]>`, so each waiter costs a refcount bump, not
+    /// a copy).
+    Doc(CachedDoc),
+    /// The miss failed with this status/reason; followers fail the same
+    /// way.
+    Error(u16, String),
+    /// The outcome cannot be shared; followers rerun the miss path.
+    Unshared,
+}
+
+/// Joins (or creates) the in-flight entry for `doc`.
+fn join_inflight(state: &ProxyState, doc: DocId) -> FlightRole {
+    use std::collections::hash_map::Entry;
+    let mut registry = state.inflight.lock();
+    match registry.entry(doc) {
+        Entry::Occupied(e) => FlightRole::Follower(Arc::clone(e.get())),
+        Entry::Vacant(v) => {
+            let entry = Arc::new(Inflight {
+                slot: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            v.insert(Arc::clone(&entry));
+            FlightRole::Leader(entry)
+        }
+    }
+}
+
+/// Leader-side handle: guarantees the registry entry is removed and the
+/// followers woken exactly once, even if the miss path unwinds.
+struct FlightLeader<'a> {
+    state: &'a ProxyState,
+    doc: DocId,
+    entry: Arc<Inflight>,
+    published: bool,
+}
+
+impl FlightLeader<'_> {
+    fn publish(mut self, outcome: FlightOutcome) {
+        self.finish(outcome);
+        self.published = true;
+    }
+
+    fn finish(&self, outcome: FlightOutcome) {
+        // Deregister first so a request arriving after the outcome was
+        // decided starts a fresh flight instead of joining a finished one.
+        self.state.inflight.lock().remove(&self.doc);
+        *self.entry.slot.lock() = Some(outcome);
+        self.entry.cv.notify_all();
+    }
+}
+
+impl Drop for FlightLeader<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            // The miss path unwound: release the followers rather than
+            // stranding them until their wait budget expires.
+            self.finish(FlightOutcome::Unshared);
+        }
+    }
+}
+
+/// The full miss path (disk → peers → origin), shared by coalescing
+/// leaders and by followers that gave up on coalescing. Returns the reply
+/// plus the outcome a leader broadcasts to its followers.
+#[allow(clippy::too_many_arguments)]
+fn handle_miss(
+    url: &str,
+    client: u32,
+    bypass_peers: bool,
+    trace: TraceId,
+    state: &ProxyState,
+    doc: DocId,
+    requester: ClientId,
+    t_request: Instant,
+) -> (Message, FlightOutcome) {
     // 1b. Disk tier — consulted only after a memory miss, so the
     // in-memory hot path never touches it. A fresh verified entry serves
     // directly; a stale one is revalidated against the origin with a
@@ -756,7 +1013,11 @@ fn handle_get(
         );
         if let Some(hit) = hit {
             if hit.fresh {
-                return serve_from_disk(state, requester, doc, url, hit.doc, false, t_request);
+                let outcome = FlightOutcome::Doc(hit.doc.clone());
+                return (
+                    serve_from_disk(state, requester, doc, url, hit.doc, false, t_request),
+                    outcome,
+                );
             }
             // TTL expired: ask the origin whether our copy is still
             // current before serving it.
@@ -779,20 +1040,29 @@ fn handle_get(
             match outcome {
                 Revalidation::NotModified => {
                     disk.refresh(url);
-                    return serve_from_disk(state, requester, doc, url, hit.doc, true, t_request);
+                    let outcome = FlightOutcome::Doc(hit.doc.clone());
+                    return (
+                        serve_from_disk(state, requester, doc, url, hit.doc, true, t_request),
+                        outcome,
+                    );
                 }
                 Revalidation::Changed(body) => {
                     // The document changed at the origin: this is an
                     // origin fetch in every respect, write-through
                     // included.
-                    return serve_origin_fetch(state, requester, doc, url, body, trace, t_request);
+                    let (reply, cached) =
+                        serve_origin_fetch(state, requester, doc, url, body, trace, t_request);
+                    return (reply, FlightOutcome::Doc(cached));
                 }
                 Revalidation::Gone => {
                     // The origin no longer serves the document; the
                     // stale disk copy must not outlive it.
                     disk.remove(url);
                     state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    return response(status::NOT_FOUND, "Not Found");
+                    return (
+                        response(status::NOT_FOUND, "Not Found"),
+                        FlightOutcome::Error(status::NOT_FOUND, "Not Found".into()),
+                    );
                 }
                 Revalidation::Failed => {
                     // Origin unreachable: keep the stale entry (a later
@@ -831,9 +1101,14 @@ fn handle_get(
                             .obs
                             .tiers
                             .record(Tier::Peer.index(), t_request.elapsed());
-                        return response(status::OK, "OK")
-                            .header("X-Source", "peer-direct")
-                            .header("Txn", txn.to_string());
+                        // A direct push carries no body through the proxy,
+                        // so there is nothing to share with followers.
+                        return (
+                            response(status::OK, "OK")
+                                .header("X-Source", "peer-direct")
+                                .header("Txn", txn.to_string()),
+                            FlightOutcome::Unshared,
+                        );
                     }
                     Err(_) => {
                         state.counters.peer_failures.fetch_add(1, Ordering::Relaxed);
@@ -866,7 +1141,8 @@ fn handle_get(
                         .obs
                         .tiers
                         .record(Tier::Peer.index(), t_request.elapsed());
-                    return ok_response("peer", &cached);
+                    let reply = ok_response("peer", &cached);
+                    return (reply, FlightOutcome::Doc(cached));
                 }
                 Err(_) => {
                     // The index was stale (or the peer is gone): self-heal.
@@ -897,23 +1173,31 @@ fn handle_get(
         ),
     );
     match fetched {
-        Ok(body) => serve_origin_fetch(state, requester, doc, url, body, trace, t_request),
+        Ok(body) => {
+            let (reply, cached) =
+                serve_origin_fetch(state, requester, doc, url, body, trace, t_request);
+            (reply, FlightOutcome::Doc(cached))
+        }
         Err(e) => {
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            match e {
-                OriginError::NotFound => response(status::NOT_FOUND, "Not Found"),
-                OriginError::Unavailable => response(status::UNAVAILABLE, "Origin Unavailable"),
-                OriginError::Io(e) => response(
+            let (code, reason) = match e {
+                OriginError::NotFound => (status::NOT_FOUND, "Not Found".to_string()),
+                OriginError::Unavailable => (status::UNAVAILABLE, "Origin Unavailable".to_string()),
+                OriginError::Io(e) => (
                     status::UNAVAILABLE,
-                    &format!("Origin Unreachable ({})", e.kind()),
+                    format!("Origin Unreachable ({})", e.kind()),
                 ),
-            }
+            };
+            let reply = response(code, &reason);
+            (reply, FlightOutcome::Error(code, reason))
         }
     }
 }
 
 /// Serves an origin-fetched body: mints the watermark, populates both
 /// cache tiers (write-through), updates the index, and counts the fetch.
+/// Also hands back the cached doc so a coalescing leader can broadcast it.
+#[allow(clippy::too_many_arguments)]
 fn serve_origin_fetch(
     state: &ProxyState,
     requester: ClientId,
@@ -922,7 +1206,7 @@ fn serve_origin_fetch(
     body: Body,
     trace: TraceId,
     t_request: Instant,
-) -> Message {
+) -> (Message, CachedDoc) {
     state
         .counters
         .origin_fetches
@@ -938,7 +1222,7 @@ fn serve_origin_fetch(
         .obs
         .tiers
         .record(Tier::Origin.index(), t_request.elapsed());
-    ok_response("origin", &cached)
+    (ok_response("origin", &cached), cached)
 }
 
 /// Serves a verified disk-tier document: counts the hit, promotes the
@@ -981,6 +1265,24 @@ fn write_through_to_disk(state: &ProxyState, url: &str, cached: &CachedDoc, trac
         EventKind::DiskWrite,
         t_write.elapsed(),
         format!("url={url} bytes={}", cached.byte_size()),
+    );
+}
+
+/// Publisher purge (INVALIDATE with `Purge: 1`): the document changed at
+/// the origin, so the proxy's replicas are dropped from memory and the
+/// disk entry is *expired in place* rather than deleted — the next read
+/// revalidates with `If-Digest`, so a false alarm still costs only a 304
+/// instead of a full refetch. Browser-held replicas are the clients' own
+/// responsibility (local discard + piggybacked eviction notices).
+fn handle_purge(url: &str, trace: TraceId, state: &ProxyState) {
+    let doc = doc_id(state, url);
+    let dropped = state.cache.remove(doc, url);
+    let expired = state.disk.as_ref().map(|d| d.expire(url)).unwrap_or(false);
+    state.obs.recorder.record(
+        trace,
+        EventKind::Invalidate,
+        Duration::ZERO,
+        format!("url={url} purge memory={dropped} disk={expired}"),
     );
 }
 
@@ -1027,6 +1329,7 @@ fn stats_response(state: &ProxyState) -> Message {
         .header("Direct-Pushes", s.direct_pushes.to_string())
         .header("Peer-Fallbacks", s.peer_fallbacks.to_string())
         .header("Errors", s.errors.to_string())
+        .header("Coalesced-Fetches", s.coalesced_fetches.to_string())
         .header("Cache-Shards", state.cache.n_shards().to_string())
         .header("Cache-Bytes", state.cache.used().to_string())
         .header(
@@ -1372,6 +1675,49 @@ mod tests {
         assert!(Arc::ptr_eq(&reply.body, &body));
     }
 
+    /// Followers of a coalesced flight share the leader's body
+    /// allocation: the broadcast outcome clones [`CachedDoc`], whose body
+    /// is `Arc<[u8]>`, so every waiter holds the same bytes by pointer.
+    #[test]
+    fn flight_followers_share_one_body_allocation() {
+        let signer = ProxySigner::generate(&mut StdRng::seed_from_u64(9));
+        let body: Body = Arc::from(&b"herd body"[..]);
+        let cached = CachedDoc {
+            watermark: signer.watermark(&body),
+            body: Arc::clone(&body),
+        };
+        let entry = Arc::new(Inflight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let followers: Vec<_> = (0..2)
+            .map(|_| {
+                let entry = Arc::clone(&entry);
+                std::thread::spawn(move || entry.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        *entry.slot.lock() = Some(FlightOutcome::Doc(cached));
+        entry.cv.notify_all();
+        for follower in followers {
+            match follower.join().unwrap() {
+                FlightOutcome::Doc(doc) => assert!(Arc::ptr_eq(&doc.body, &body)),
+                _ => panic!("expected the shared doc"),
+            }
+        }
+    }
+
+    /// A follower whose leader never publishes gives up after its wait
+    /// budget instead of hanging.
+    #[test]
+    fn flight_wait_times_out_to_unshared() {
+        let entry = Inflight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        };
+        let outcome = entry.wait(Duration::from_millis(20));
+        assert!(matches!(outcome, FlightOutcome::Unshared));
+    }
+
     /// The snapshot derives `requests` from the outcome counters, so the
     /// balance identity can never be observed broken.
     #[test]
@@ -1408,6 +1754,7 @@ mod tests {
             direct_pushes: 1,
             peer_fallbacks: 1,
             errors: 0,
+            coalesced_fetches: 6,
         };
         persist_baseline(&root, &before);
         let loaded = load_baseline(&root);

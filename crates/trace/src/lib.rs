@@ -26,6 +26,7 @@ pub mod bu;
 pub mod dist;
 pub mod export;
 pub mod profiles;
+pub mod scenarios;
 pub mod sharing;
 pub mod squid;
 pub mod stats;
@@ -37,6 +38,7 @@ pub use bu::{parse_bu, BuOptions};
 pub use dist::{DocSize, Exponential, LogNormal, Pareto, WeightedIndex, Zipf};
 pub use export::{write_squid_log, ExportNames};
 pub use profiles::{PaperTargets, Profile};
+pub use scenarios::{Scenario, ScenarioConfig, ScenarioOp, ScenarioSchedule};
 pub use sharing::SharingStats;
 pub use squid::{parse_squid, ParseError, SquidOptions};
 pub use stats::TraceStats;

@@ -1,0 +1,561 @@
+//! Adversarial workload scenarios.
+//!
+//! The calibrated profiles in [`crate::profiles`] model *steady-state*
+//! traffic. Real proxy deployments die under non-stationary shapes: a
+//! cold document going viral, a publisher invalidating its corpus, the
+//! working set swelling and shrinking with the day, or a handful of
+//! multi-megabyte objects dominating the byte stream. This module
+//! provides those shapes as first-class deterministic generators.
+//!
+//! A [`Scenario`] names a shape; [`Scenario::config`] produces a tuned
+//! [`ScenarioConfig`]; [`ScenarioConfig::generate`] expands it with a
+//! seed into a [`ScenarioSchedule`] — a flat, replayable list of
+//! [`ScenarioOp`]s plus the per-document body sizes the driver should
+//! install at the origin. The same `(config, seed)` pair always yields
+//! a byte-identical schedule, so chaos soaks built on top of it stay
+//! run-to-run deterministic.
+
+use crate::dist::{DocSize, LogNormal, Pareto, Zipf};
+use crate::synth::SizeModelConfig;
+use crate::types::{ClientId, DocId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a scenario schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// `client` fetches `doc` through the proxy.
+    Get {
+        /// The requesting browser client.
+        client: ClientId,
+        /// The document requested.
+        doc: DocId,
+    },
+    /// The publisher updates `doc` at the origin: the driver must mutate
+    /// the origin copy and push an INVALIDATE through the proxy so no
+    /// cached replica can be served stale.
+    Invalidate {
+        /// The document whose content changes.
+        doc: DocId,
+    },
+}
+
+/// A fully expanded, deterministic scenario schedule.
+#[derive(Debug, Clone)]
+pub struct ScenarioSchedule {
+    /// The shape that generated this schedule.
+    pub scenario: Scenario,
+    /// Ordered operations to replay.
+    pub ops: Vec<ScenarioOp>,
+    /// Number of distinct clients referenced by `ops`.
+    pub n_clients: u32,
+    /// Number of distinct documents referenced by `ops`.
+    pub n_docs: u32,
+    /// Body size in bytes for each document `0..n_docs`; the driver
+    /// should seed the origin corpus with exactly these sizes.
+    pub doc_sizes: Vec<u32>,
+    /// The document that goes viral (flash crowd only).
+    pub hot_doc: Option<DocId>,
+}
+
+impl ScenarioSchedule {
+    /// Number of `Get` operations in the schedule.
+    pub fn gets(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Get { .. }))
+            .count() as u64
+    }
+
+    /// Number of `Invalidate` operations in the schedule.
+    pub fn invalidations(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Invalidate { .. }))
+            .count() as u64
+    }
+
+    /// Fraction of `Get` operations that target `hot_doc` (0.0 when the
+    /// scenario has no hot document).
+    pub fn hot_share(&self) -> f64 {
+        let Some(hot) = self.hot_doc else { return 0.0 };
+        let mut gets = 0u64;
+        let mut hot_gets = 0u64;
+        for op in &self.ops {
+            if let ScenarioOp::Get { doc, .. } = op {
+                gets += 1;
+                if *doc == hot {
+                    hot_gets += 1;
+                }
+            }
+        }
+        if gets == 0 {
+            0.0
+        } else {
+            hot_gets as f64 / gets as f64
+        }
+    }
+}
+
+/// The four adversarial traffic shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// One cold document ramps to ~half of all traffic inside a
+    /// configurable window — the thundering-herd shape.
+    FlashCrowd,
+    /// Periodic bursts of document updates force INVALIDATE plus
+    /// revalidation waves through the memory and disk tiers.
+    InvalidationStorm,
+    /// Working-set size oscillates through day/night cycles so the LRU
+    /// and disk tier thrash at the boundaries.
+    DiurnalSwing,
+    /// Heavy-tail large-object mix with bodies into the megabytes,
+    /// stressing whole-body frames and disk write-through.
+    HeavyTail,
+}
+
+impl Scenario {
+    /// All scenarios, in canonical order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::FlashCrowd,
+            Scenario::InvalidationStorm,
+            Scenario::DiurnalSwing,
+            Scenario::HeavyTail,
+        ]
+    }
+
+    /// The kebab-case name used by `--scenario` flags and BENCH keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::InvalidationStorm => "invalidation-storm",
+            Scenario::DiurnalSwing => "diurnal-swing",
+            Scenario::HeavyTail => "heavy-tail",
+        }
+    }
+
+    /// Parses a kebab-case scenario name.
+    pub fn parse(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// A distinct per-scenario seed so fixed-seed CI runs of different
+    /// scenarios do not share RNG streams.
+    pub fn canonical_seed(self) -> u64 {
+        match self {
+            Scenario::FlashCrowd => 0xf1a5_4c70,
+            Scenario::InvalidationStorm => 0x5702_a11e,
+            Scenario::DiurnalSwing => 0xd1e1_05c1,
+            Scenario::HeavyTail => 0x7a11_b0d1,
+        }
+    }
+
+    /// Tuned default configuration for this shape at the requested
+    /// schedule size.
+    pub fn config(self, n_requests: u64, n_clients: u32, n_docs: u32) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig {
+            scenario: self,
+            n_requests,
+            n_clients,
+            n_docs,
+            zipf_alpha: 0.8,
+            base_min_size: 256,
+            base_max_size: 2048,
+            hot_share: 0.5,
+            ramp_start: 0.1,
+            ramp_window: 0.25,
+            storm_period: 200,
+            storm_docs: 8,
+            cycles: 3.0,
+            min_working_frac: 0.15,
+            size_model: None,
+        };
+        if self == Scenario::HeavyTail {
+            // Median ~16 KB lognormal body with a 20% Pareto tail from
+            // 128 KB, clamped at 4 MB: mean lands in the low hundreds
+            // of kilobytes — see `declared_mean_bytes`.
+            cfg.size_model = Some(SizeModelConfig {
+                body_median: 16.0 * 1024.0,
+                body_sigma: 1.0,
+                tail_scale: 128.0 * 1024.0,
+                tail_shape: 1.1,
+                tail_prob: 0.2,
+                min: 1024,
+                max: 4 << 20,
+            });
+        }
+        cfg
+    }
+}
+
+/// Tunable parameters for one scenario run. Fields that do not apply to
+/// the chosen [`Scenario`] are ignored by [`ScenarioConfig::generate`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Which shape to generate.
+    pub scenario: Scenario,
+    /// Total number of `Get` operations to emit.
+    pub n_requests: u64,
+    /// Number of distinct clients.
+    pub n_clients: u32,
+    /// Number of distinct documents.
+    pub n_docs: u32,
+    /// Zipf exponent for background document popularity.
+    pub zipf_alpha: f64,
+    /// Minimum body size for the uniform base corpus, bytes.
+    pub base_min_size: u32,
+    /// Maximum body size for the uniform base corpus, bytes.
+    pub base_max_size: u32,
+    /// Flash crowd: target share of traffic for the hot doc after the
+    /// ramp completes, in `(0, 1)`.
+    pub hot_share: f64,
+    /// Flash crowd: fraction of the schedule before the ramp begins.
+    pub ramp_start: f64,
+    /// Flash crowd: fraction of the schedule over which the hot share
+    /// ramps linearly from zero to `hot_share`.
+    pub ramp_window: f64,
+    /// Invalidation storm: `Get` operations between bursts.
+    pub storm_period: u64,
+    /// Invalidation storm: distinct documents invalidated per burst.
+    pub storm_docs: u32,
+    /// Diurnal swing: number of full day/night cycles in the schedule.
+    pub cycles: f64,
+    /// Diurnal swing: working-set size at the trough, as a fraction of
+    /// `n_docs` (the peak uses the full corpus).
+    pub min_working_frac: f64,
+    /// Heavy tail: body-size model replacing the uniform base corpus.
+    pub size_model: Option<SizeModelConfig>,
+}
+
+impl ScenarioConfig {
+    /// Validates parameter ranges; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_requests == 0 {
+            return Err("n_requests must be positive".into());
+        }
+        if self.n_clients == 0 {
+            return Err("n_clients must be positive".into());
+        }
+        if self.n_docs < 2 {
+            return Err("n_docs must be at least 2".into());
+        }
+        if self.zipf_alpha <= 0.0 || !self.zipf_alpha.is_finite() {
+            return Err("zipf_alpha must be finite and positive".into());
+        }
+        if self.base_min_size == 0 || self.base_min_size > self.base_max_size {
+            return Err("base size range must satisfy 0 < min <= max".into());
+        }
+        if !(self.hot_share > 0.0 && self.hot_share < 1.0) {
+            return Err("hot_share must be in (0, 1)".into());
+        }
+        if !(self.ramp_start >= 0.0 && self.ramp_window > 0.0)
+            || self.ramp_start + self.ramp_window > 1.0
+        {
+            return Err("ramp_start + ramp_window must fit in [0, 1]".into());
+        }
+        if self.storm_period == 0 {
+            return Err("storm_period must be positive".into());
+        }
+        if self.storm_docs == 0 || self.storm_docs > self.n_docs {
+            return Err("storm_docs must be in 1..=n_docs".into());
+        }
+        if self.cycles <= 0.0 || !self.cycles.is_finite() {
+            return Err("cycles must be finite and positive".into());
+        }
+        if !(self.min_working_frac > 0.0 && self.min_working_frac <= 1.0) {
+            return Err("min_working_frac must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Declared envelope for the mean generated body size, bytes. The
+    /// heavy-tail proptest asserts the empirical mean of a large sample
+    /// falls inside this range; other scenarios bound it by the uniform
+    /// base corpus.
+    pub fn declared_mean_bytes(&self) -> (f64, f64) {
+        match &self.size_model {
+            // Lognormal(median 16K, σ1.0) mean ≈ 26K at weight 0.8 plus
+            // a Pareto(128K, 1.1) tail clamped at 4 MB (mean ≈ 540K) at
+            // weight 0.2 puts the true mean near 130K; the envelope is
+            // deliberately loose because the tail has infinite variance.
+            Some(_) => (48.0 * 1024.0, 320.0 * 1024.0),
+            None => (self.base_min_size as f64, self.base_max_size as f64),
+        }
+    }
+
+    /// Maximum body size this configuration can emit, bytes.
+    pub fn max_body_bytes(&self) -> u32 {
+        match &self.size_model {
+            Some(m) => m.max,
+            None => self.base_max_size,
+        }
+    }
+
+    /// Expands the configuration into a deterministic schedule. The
+    /// same `(self, seed)` pair always produces an identical result.
+    ///
+    /// # Panics
+    /// Panics if [`ScenarioConfig::validate`] fails.
+    pub fn generate(&self, seed: u64) -> ScenarioSchedule {
+        if let Err(e) = self.validate() {
+            panic!("invalid scenario config: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce0_a210_u64.rotate_left(17));
+        let doc_sizes = self.gen_sizes(&mut rng);
+        let (ops, hot_doc) = match self.scenario {
+            Scenario::FlashCrowd => self.gen_flash_crowd(&mut rng),
+            Scenario::InvalidationStorm => (self.gen_storm(&mut rng), None),
+            Scenario::DiurnalSwing => (self.gen_diurnal(&mut rng), None),
+            Scenario::HeavyTail => (self.gen_heavy_tail(&mut rng), None),
+        };
+        ScenarioSchedule {
+            scenario: self.scenario,
+            ops,
+            n_clients: self.n_clients,
+            n_docs: self.n_docs,
+            doc_sizes,
+            hot_doc,
+        }
+    }
+
+    fn gen_sizes(&self, rng: &mut StdRng) -> Vec<u32> {
+        match &self.size_model {
+            Some(m) => {
+                let model = DocSize::new(
+                    LogNormal::from_median(m.body_median, m.body_sigma),
+                    Pareto::new(m.tail_scale, m.tail_shape),
+                    m.tail_prob,
+                    m.min,
+                    m.max,
+                );
+                (0..self.n_docs).map(|_| model.sample(rng)).collect()
+            }
+            None => (0..self.n_docs)
+                .map(|_| rng.gen_range(self.base_min_size..=self.base_max_size))
+                .collect(),
+        }
+    }
+
+    fn client(&self, rng: &mut StdRng) -> ClientId {
+        ClientId(rng.gen_range(0..self.n_clients))
+    }
+
+    /// The hot doc is the *least* popular background rank so it is
+    /// genuinely cold before the ramp begins.
+    fn gen_flash_crowd(&self, rng: &mut StdRng) -> (Vec<ScenarioOp>, Option<DocId>) {
+        let hot = DocId(self.n_docs - 1);
+        let zipf = Zipf::new(u64::from(self.n_docs), self.zipf_alpha);
+        let n = self.n_requests;
+        let mut ops = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let frac = i as f64 / n as f64;
+            let p_hot = if frac < self.ramp_start {
+                0.0
+            } else if frac < self.ramp_start + self.ramp_window {
+                self.hot_share * (frac - self.ramp_start) / self.ramp_window
+            } else {
+                self.hot_share
+            };
+            let client = self.client(rng);
+            let doc = if rng.gen::<f64>() < p_hot {
+                hot
+            } else {
+                DocId(zipf.sample(rng) as u32)
+            };
+            ops.push(ScenarioOp::Get { client, doc });
+        }
+        (ops, Some(hot))
+    }
+
+    fn gen_storm(&self, rng: &mut StdRng) -> Vec<ScenarioOp> {
+        let zipf = Zipf::new(u64::from(self.n_docs), self.zipf_alpha);
+        let mut ops = Vec::with_capacity(self.n_requests as usize);
+        let mut burst = Vec::with_capacity(self.storm_docs as usize);
+        for i in 0..self.n_requests {
+            if i > 0 && i % self.storm_period == 0 {
+                // Invalidate the *popular* ranks: every cached replica
+                // of a hot doc must revalidate, which is the worst case
+                // for both the memory and disk tiers.
+                burst.clear();
+                while burst.len() < self.storm_docs as usize {
+                    let doc = DocId(zipf.sample(rng) as u32);
+                    if !burst.contains(&doc) {
+                        burst.push(doc);
+                    }
+                }
+                for &doc in &burst {
+                    ops.push(ScenarioOp::Invalidate { doc });
+                }
+            }
+            let client = self.client(rng);
+            let doc = DocId(zipf.sample(rng) as u32);
+            ops.push(ScenarioOp::Get { client, doc });
+        }
+        ops
+    }
+
+    fn gen_diurnal(&self, rng: &mut StdRng) -> Vec<ScenarioOp> {
+        let zipf = Zipf::new(u64::from(self.n_docs), self.zipf_alpha);
+        let n = self.n_requests;
+        let mut ops = Vec::with_capacity(n as usize);
+        let stride = self.n_docs / 2 + 1;
+        for i in 0..n {
+            let progress = self.cycles * i as f64 / n as f64;
+            // Smooth day/night swing in [0, 1].
+            let phase = 0.5 - 0.5 * (progress * 2.0 * std::f64::consts::PI).cos();
+            let frac = self.min_working_frac + (1.0 - self.min_working_frac) * phase;
+            let working = ((self.n_docs as f64 * frac).round() as u32).max(1);
+            // Rotate the window each cycle so successive days touch a
+            // shifted slice of the corpus and the LRU actually churns.
+            let offset = (progress as u32).wrapping_mul(stride) % self.n_docs;
+            let rank = zipf.sample(rng) as u32 % working;
+            let doc = DocId((offset + rank) % self.n_docs);
+            let client = self.client(rng);
+            ops.push(ScenarioOp::Get { client, doc });
+        }
+        ops
+    }
+
+    fn gen_heavy_tail(&self, rng: &mut StdRng) -> Vec<ScenarioOp> {
+        let zipf = Zipf::new(u64::from(self.n_docs), self.zipf_alpha);
+        (0..self.n_requests)
+            .map(|_| ScenarioOp::Get {
+                client: self.client(rng),
+                doc: DocId(zipf.sample(rng) as u32),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(s: Scenario) -> ScenarioConfig {
+        s.config(2_000, 6, 48)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in Scenario::all() {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn canonical_seeds_distinct() {
+        let seeds: Vec<u64> = Scenario::all().iter().map(|s| s.canonical_seed()).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        for s in Scenario::all() {
+            small(s).validate().expect("default config must validate");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for s in Scenario::all() {
+            let cfg = small(s);
+            let a = cfg.generate(7);
+            let b = cfg.generate(7);
+            assert_eq!(a.ops, b.ops, "{}", s.name());
+            assert_eq!(a.doc_sizes, b.doc_sizes, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small(Scenario::FlashCrowd);
+        assert_ne!(cfg.generate(1).ops, cfg.generate(2).ops);
+    }
+
+    #[test]
+    fn flash_crowd_ramps_to_target() {
+        let cfg = small(Scenario::FlashCrowd);
+        let sched = cfg.generate(Scenario::FlashCrowd.canonical_seed());
+        let hot = sched.hot_doc.expect("flash crowd sets hot_doc");
+        // Before the ramp the hot doc is cold; after it, near target.
+        let pre = &sched.ops[..(cfg.n_requests as f64 * cfg.ramp_start) as usize];
+        let hot_pre = pre
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Get { doc, .. } if *doc == hot))
+            .count();
+        assert!(
+            (hot_pre as f64) < pre.len() as f64 * 0.1,
+            "hot doc must start cold, got {hot_pre}/{}",
+            pre.len()
+        );
+        let post_start = ((cfg.ramp_start + cfg.ramp_window) * cfg.n_requests as f64) as usize;
+        let post = &sched.ops[post_start..];
+        let hot_post = post
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Get { doc, .. } if *doc == hot))
+            .count();
+        let share = hot_post as f64 / post.len() as f64;
+        assert!(
+            (share - cfg.hot_share).abs() < 0.08,
+            "post-ramp hot share {share:.3} vs target {}",
+            cfg.hot_share
+        );
+    }
+
+    #[test]
+    fn storm_emits_bursts() {
+        let cfg = small(Scenario::InvalidationStorm);
+        let sched = cfg.generate(3);
+        let expected = (cfg.n_requests - 1) / cfg.storm_period * u64::from(cfg.storm_docs);
+        assert_eq!(sched.invalidations(), expected);
+        assert_eq!(sched.gets(), cfg.n_requests);
+    }
+
+    #[test]
+    fn diurnal_touches_whole_corpus() {
+        let cfg = small(Scenario::DiurnalSwing);
+        let sched = cfg.generate(5);
+        let mut seen = vec![false; cfg.n_docs as usize];
+        for op in &sched.ops {
+            if let ScenarioOp::Get { doc, .. } = op {
+                seen[doc.index()] = true;
+            }
+        }
+        let touched = seen.iter().filter(|s| **s).count();
+        assert!(touched > cfg.n_docs as usize / 2, "touched {touched}");
+    }
+
+    #[test]
+    fn heavy_tail_sizes_clamped() {
+        let cfg = small(Scenario::HeavyTail);
+        let sched = cfg.generate(11);
+        let max = cfg.max_body_bytes();
+        assert!(sched.doc_sizes.iter().all(|&s| s >= 1024 && s <= max));
+        // At least one doc should exceed the base corpus ceiling.
+        assert!(sched.doc_sizes.iter().any(|&s| s > 64 * 1024));
+    }
+
+    #[test]
+    fn ids_stay_in_range() {
+        for s in Scenario::all() {
+            let cfg = small(s);
+            let sched = cfg.generate(9);
+            for op in &sched.ops {
+                match op {
+                    ScenarioOp::Get { client, doc } => {
+                        assert!(client.0 < cfg.n_clients);
+                        assert!(doc.0 < cfg.n_docs);
+                    }
+                    ScenarioOp::Invalidate { doc } => assert!(doc.0 < cfg.n_docs),
+                }
+            }
+        }
+    }
+}

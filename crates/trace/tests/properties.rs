@@ -1,8 +1,8 @@
 //! Property-based tests of the workload generator and log parsers.
 
 use baps_trace::{
-    parse_bu, parse_squid, read_trace, write_trace, BuOptions, SquidOptions, SynthConfig,
-    TraceStats,
+    parse_bu, parse_squid, read_trace, write_trace, BuOptions, Scenario, ScenarioOp, SquidOptions,
+    SynthConfig, TraceStats,
 };
 use proptest::prelude::*;
 use std::io::BufReader;
@@ -121,5 +121,89 @@ proptest! {
     fn bu_parser_never_panics(lines in proptest::collection::vec(".{0,120}", 0..30)) {
         let joined = lines.join("\n");
         let _ = parse_bu(BufReader::new(joined.as_bytes()), "fuzz", &BuOptions::default());
+    }
+
+    /// The same seed yields a byte-identical scenario schedule, for every
+    /// scenario over arbitrary dimensions, and every op stays inside the
+    /// declared client/doc universe.
+    #[test]
+    fn scenario_same_seed_byte_identical(
+        which in 0usize..4,
+        n_requests in 500u64..3_000,
+        n_clients in 2u32..12,
+        n_docs in 8u32..96,
+        seed in any::<u64>(),
+    ) {
+        let scenario = Scenario::all()[which];
+        let cfg = scenario.config(n_requests, n_clients, n_docs);
+        prop_assert!(cfg.validate().is_ok());
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        prop_assert_eq!(&a.ops, &b.ops);
+        prop_assert_eq!(&a.doc_sizes, &b.doc_sizes);
+        prop_assert_eq!(a.hot_doc, b.hot_doc);
+        prop_assert_eq!(a.gets(), n_requests);
+        for op in &a.ops {
+            match op {
+                ScenarioOp::Get { client, doc } => {
+                    prop_assert!(client.0 < n_clients);
+                    prop_assert!(doc.0 < n_docs);
+                }
+                ScenarioOp::Invalidate { doc } => prop_assert!(doc.0 < n_docs),
+            }
+        }
+    }
+
+    /// The flash-crowd hot doc starts cold and reaches its configured
+    /// traffic share (within sampling tolerance) once the ramp completes.
+    #[test]
+    fn flash_crowd_reaches_configured_share(
+        hot_share in 0.3f64..0.65,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = Scenario::FlashCrowd.config(6_000, 8, 64);
+        cfg.hot_share = hot_share;
+        let sched = cfg.generate(seed);
+        let hot = sched.hot_doc.expect("flash crowd sets hot_doc");
+        let pre_end = (cfg.ramp_start * cfg.n_requests as f64) as usize;
+        let hot_pre = sched.ops[..pre_end]
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Get { doc, .. } if *doc == hot))
+            .count();
+        prop_assert!(
+            (hot_pre as f64) < pre_end as f64 * 0.05,
+            "hot doc must start cold: {} hits in {} pre-ramp ops", hot_pre, pre_end
+        );
+        let post_start = ((cfg.ramp_start + cfg.ramp_window) * cfg.n_requests as f64) as usize;
+        let post = &sched.ops[post_start..];
+        let hot_post = post
+            .iter()
+            .filter(|op| matches!(op, ScenarioOp::Get { doc, .. } if *doc == hot))
+            .count();
+        let share = hot_post as f64 / post.len() as f64;
+        prop_assert!(
+            (share - hot_share).abs() < 0.06,
+            "post-ramp share {} vs target {}", share, hot_share
+        );
+    }
+
+    /// Heavy-tail body sizes respect the declared envelope: every size is
+    /// clamped to the model's max, and the empirical mean of a large
+    /// sample lands inside the declared mean range.
+    #[test]
+    fn heavy_tail_sizes_match_declared_envelope(seed in any::<u64>()) {
+        let cfg = Scenario::HeavyTail.config(10, 4, 3_000);
+        let sched = cfg.generate(seed);
+        let max = cfg.max_body_bytes();
+        let (lo, hi) = cfg.declared_mean_bytes();
+        prop_assert!(sched.doc_sizes.iter().all(|&s| (1024..=max).contains(&s)));
+        prop_assert!(sched.doc_sizes.iter().any(|&s| s > 1 << 20),
+            "a 3000-doc heavy-tail sample should include megabyte bodies");
+        let mean = sched.doc_sizes.iter().map(|&s| s as f64).sum::<f64>()
+            / sched.doc_sizes.len() as f64;
+        prop_assert!(
+            mean > lo && mean < hi,
+            "empirical mean {} outside declared envelope ({}, {})", mean, lo, hi
+        );
     }
 }

@@ -31,6 +31,24 @@ echo "== chaos soak, warm-restart mode (fixed seed)"
 cargo run --release -q -p baps-bench --bin chaos_soak -- \
     --seed 42 --requests 2000 --restart-warm
 
+echo "== scenario soak: flash-crowd (fixed seed)"
+# Sequential replay of the flash-crowd schedule (cold doc ramping to ~50%
+# of traffic) with byte-exact content checks, bounded tails, and a
+# 16-worker thundering-herd probe that must coalesce to exactly one
+# origin fetch (coalesced_fetches == 15). Run twice internally to prove
+# same-seed determinism.
+cargo run --release -q -p baps-bench --bin chaos_soak -- \
+    --seed 42 --requests 2000 --scenario flash-crowd
+
+echo "== scenario soak: invalidation-storm (fixed seed)"
+# Publisher-storm replay against the memory + disk tiers: every
+# Invalidate op is one wire message (replica discards piggyback), no
+# fetch may return stale bytes, and the unchanged half of the updates
+# must come back via If-Digest revalidation. Determinism gated the same
+# way.
+cargo run --release -q -p baps-bench --bin chaos_soak -- \
+    --seed 42 --requests 2000 --scenario invalidation-storm
+
 echo "== metrics smoke (METRICS exposition + recording-overhead gate)"
 # Scrapes METRICS BAPS/1.0 over the wire under load and asserts the
 # exposition parses, requests_total = served-by-tier + errors, and the
