@@ -375,7 +375,8 @@ fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
     }
 
     let faults = plan.counts();
-    let recorder_dump = (!violations.is_empty()).then(|| bed.recorder.render());
+    let recorder_dump = (!violations.is_empty())
+        .then(|| format!("{}\n{}", saturation_line(&bed), bed.recorder.render()));
     bed.shutdown();
     if let Some(dir) = disk_root {
         let _ = std::fs::remove_dir_all(dir);
@@ -394,6 +395,28 @@ fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
         violations,
         recorder_dump,
     }
+}
+
+/// One-line runtime-saturation snapshot taken while the deployment is
+/// still alive; heads every violation dump so a hang or queue collapse
+/// is distinguishable from a logic bug at a glance.
+fn saturation_line(bed: &TestBed) -> String {
+    let sat = bed.proxy.saturation();
+    format!(
+        "=== saturation: pool {} workers (busy {} peak {}) | queue depth {} \
+         (peak {}, rejected {}) | queue-wait p99 {:.3} ms over {} waits | \
+         flight occupancy {} | recorder drops {} ===",
+        sat.workers,
+        sat.busy_workers,
+        sat.busy_workers_peak,
+        sat.queue_depth,
+        sat.queue_depth_peak,
+        sat.rejected,
+        sat.queue_wait.quantile_ms(0.99),
+        sat.queue_wait.count(),
+        bed.proxy.flight_occupancy(),
+        bed.recorder.dropped(),
+    )
 }
 
 /// Workers in the flash-crowd thundering-herd probe.
@@ -544,7 +567,8 @@ fn run_scenario_soak(scenario: Scenario, args: SoakArgs, run: u32) -> ScenarioRe
         (probe.herd, probe.origin_fetches, probe.coalesced_fetches)
     });
 
-    let recorder_dump = (!violations.is_empty()).then(|| bed.recorder.render());
+    let recorder_dump = (!violations.is_empty())
+        .then(|| format!("{}\n{}", saturation_line(&bed), bed.recorder.render()));
     bed.shutdown();
     let _ = std::fs::remove_dir_all(&disk_root);
     ScenarioReport {
@@ -739,9 +763,11 @@ fn fail(args: SoakArgs, violations: &[String], recorder_dump: Option<&str>) -> !
     if let Some(dump) = recorder_dump {
         // The ring holds the spans (with trace ids) leading up to the
         // violation — the VIOLATION events themselves are interleaved at
-        // the positions where each invariant broke. The header carries
-        // the full parameter set (profile/scenario included) so a pasted
-        // dump is reproducible on its own.
+        // the positions where each invariant broke. A saturation snapshot
+        // (queue depth, busy workers, recorder drops, taken while the
+        // deployment was still alive) heads the dump, and the header
+        // carries the full parameter set (profile/scenario included) so a
+        // pasted dump is reproducible on its own.
         eprintln!("=== flight-recorder dump | {} ===", args.repro_line());
         eprintln!("{dump}");
     }

@@ -24,7 +24,12 @@
 //! workers), writes the scaling curve as JSON to `--out`, then measures
 //! the observability overhead by re-running one point with recording
 //! disabled ([`baps_obs::set_recording`]); the on/off delta lands in the
-//! JSON too. See the README for how to read the file.
+//! JSON too. Each point also records the proxy's worker-pool saturation
+//! (busy-worker peak, accept-backlog depth, time-in-queue p50/p99) as the
+//! `saturation` block, and one dedicated instrumented point is scraped
+//! via `TRACE BAPS/1.0` and assembled into per-kind critical-path
+//! attribution as the `critical_path` block. See the README for how to
+//! read the file.
 //!
 //! `--metrics` additionally scrapes the proxy's `METRICS BAPS/1.0`
 //! exposition over the wire after the keep-alive run, checks that it
@@ -42,9 +47,10 @@
 //! and prints its throughput/tail point. `--sweep` measures all four and
 //! records them as the `scenarios` block of `BENCH_live.json`.
 
+use baps_bench::critical_path;
 use baps_bench::scenario::{bed_config, flash_crowd_herd, scenario_corpus, url_of};
-use baps_obs::{prom, LatencyHistogram};
-use baps_proxy::{DocumentStore, TestBed, TestBedConfig};
+use baps_obs::{prom, span, LatencyHistogram};
+use baps_proxy::{DocumentStore, SaturationSnapshot, TestBed, TestBedConfig};
 use baps_trace::{DocId, Scenario, ScenarioOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +69,11 @@ struct ModeReport {
     /// Raw `METRICS BAPS/1.0` exposition scraped over the wire just
     /// before shutdown (only when requested).
     metrics: Option<String>,
+    /// Worker-pool saturation at the end of the run: accept-backlog
+    /// depth/peak, busy workers, and the time-in-queue histogram.
+    saturation: SaturationSnapshot,
+    /// Raw `TRACE BAPS/1.0` JSONL span dump (only when requested).
+    trace: Option<String>,
 }
 
 impl ModeReport {
@@ -92,6 +103,7 @@ fn run_mode(
     per_client: u32,
     n_docs: usize,
     scrape_metrics: bool,
+    scrape_trace: bool,
 ) -> ModeReport {
     // Fresh deployment per mode so neither run inherits warm caches.
     let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
@@ -153,6 +165,11 @@ fn run_mode(
             .expect("METRICS roundtrip");
         String::from_utf8(reply.body.to_vec()).expect("exposition is UTF-8")
     });
+    let trace = scrape_trace.then(|| {
+        let reply = bed.clients[0].proxy_trace_raw().expect("TRACE roundtrip");
+        String::from_utf8(reply.body.to_vec()).expect("TRACE body is UTF-8")
+    });
+    let saturation = bed.proxy.saturation();
     bed.shutdown();
     ModeReport {
         label: if keep_alive {
@@ -164,6 +181,8 @@ fn run_mode(
         requests: histo.count(),
         histo,
         metrics,
+        saturation,
+        trace,
     }
 }
 
@@ -199,6 +218,13 @@ fn summarize_metrics(text: &str) {
         histo_count,
         requests - errors,
         "tier histogram counts must sum to requests - errors"
+    );
+    // Saturation families: the pool gauge is live and the time-in-queue
+    // histogram saw every dispatched connection.
+    assert!(get("baps_workers", &[]) > 0.0, "worker gauge missing/zero");
+    assert!(
+        get("baps_queue_wait_ms_count", &[]) >= 1.0,
+        "queue-wait histogram recorded nothing"
     );
     println!(
         "\nMETRICS scrape: {} samples, requests_total {requests} = served-by-tier {by_tier} + errors {errors}, histogram observations {histo_count}",
@@ -248,14 +274,14 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     );
     // Warmup: touch the page cache / allocator / loopback stack once so
     // the first measured point doesn't pay the process's cold-start costs.
-    let _ = run_mode(true, 2, (total / 16).max(1), n_docs, false);
+    let _ = run_mode(true, 2, (total / 16).max(1), n_docs, false, false);
 
     let mut points: Vec<(u32, Option<ModeReport>)> =
         SWEEP_WORKERS.iter().map(|&w| (w, None)).collect();
     for round in 0..SWEEP_ROUNDS {
         for (workers, best) in &mut points {
             let per_client = (total / *workers).max(1);
-            let report = run_mode(true, *workers, per_client, n_docs, false);
+            let report = run_mode(true, *workers, per_client, n_docs, false, false);
             println!(
                 "round {}  {:>3} workers  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   \
                  ({} requests in {:.2} s)",
@@ -304,9 +330,43 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         }
     }
 
+    println!("\nsaturation at each best point (proxy worker pool):");
+    for (workers, report) in &points {
+        let sat = &report.saturation;
+        println!(
+            "  {:>3} clients  pool {:>2} workers  busy peak {:>2}  queue peak {:>2}  \
+             rejected {:>2}  queue-wait p50 {:>7.3} ms  p99 {:>7.3} ms  ({} waits)",
+            workers,
+            sat.workers,
+            sat.busy_workers_peak,
+            sat.queue_depth_peak,
+            sat.rejected,
+            sat.queue_wait.quantile_ms(0.50),
+            sat.queue_wait.quantile_ms(0.99),
+            sat.queue_wait.count(),
+        );
+    }
+
     let overhead = measure_overhead(n_docs);
     let disk = measure_disk_tier(total, n_docs);
     let scenarios = measure_scenarios(total, n_docs);
+
+    // Critical-path attribution: one dedicated instrumented point whose
+    // TRACE dump is assembled into span trees and aggregated per kind.
+    println!("\ncritical-path attribution ({OVERHEAD_WORKERS} workers, from a TRACE scrape):");
+    let traced = run_mode(
+        true,
+        OVERHEAD_WORKERS,
+        (total / OVERHEAD_WORKERS).max(1),
+        n_docs,
+        false,
+        true,
+    );
+    let trace_records = span::parse_jsonl(traced.trace.as_deref().expect("traced run dumps TRACE"))
+        .expect("TRACE dump parses");
+    let trees = span::assemble(&trace_records);
+    let attribution = critical_path::attribution(&trees);
+    print!("{}", critical_path::render_table(&attribution));
 
     // The in-tree serde shim is a no-op, so the JSON is rendered by hand.
     let mut json = String::new();
@@ -336,6 +396,31 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"saturation\": [\n");
+    for (i, (workers, r)) in points.iter().enumerate() {
+        let sat = &r.saturation;
+        let _ = write!(
+            json,
+            "    {{\"clients\": {}, \"pool_workers\": {}, \"busy_workers_peak\": {}, \
+             \"queue_depth_peak\": {}, \"queue_rejected\": {}, \"queue_waits\": {}, \
+             \"queue_wait_p50_ms\": {:.3}, \"queue_wait_p99_ms\": {:.3}, \
+             \"service_p50_ms\": {:.3}}}",
+            workers,
+            sat.workers,
+            sat.busy_workers_peak,
+            sat.queue_depth_peak,
+            sat.rejected,
+            sat.queue_wait.count(),
+            sat.queue_wait.quantile_ms(0.50),
+            sat.queue_wait.quantile_ms(0.99),
+            r.histo.quantile_ms(0.50),
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"critical_path\": [");
+    let _ = writeln!(json, "{}", critical_path::render_json(&attribution, "    "));
     json.push_str("  ],\n");
     json.push_str("  \"scenarios\": [\n");
     for (i, p) in scenarios.iter().enumerate() {
@@ -841,6 +926,7 @@ fn run_smoke(total: u32, n_docs: usize) {
         (total / OVERHEAD_WORKERS).max(1),
         n_docs,
         true,
+        true,
     );
     report.print();
     summarize_metrics(
@@ -848,6 +934,16 @@ fn run_smoke(total: u32, n_docs: usize) {
             .metrics
             .as_deref()
             .expect("smoke run scrapes METRICS"),
+    );
+    // The same run's TRACE dump must hold at least one sampled span: the
+    // exporter is live, not just the verb.
+    let spans = span::parse_jsonl(report.trace.as_deref().expect("smoke run scrapes TRACE"))
+        .expect("TRACE dump parses");
+    assert!(!spans.is_empty(), "TRACE dump is empty under load");
+    println!(
+        "TRACE scrape: {} spans, {} trees assembled",
+        spans.len(),
+        span::assemble(&spans).len()
     );
 
     let mut overhead = measure_overhead(n_docs);
@@ -950,9 +1046,9 @@ fn main() {
         "live_load: {n_clients} clients x {per_client} requests, {n_docs} docs (loopback sockets)\n"
     );
 
-    let per_request = run_mode(false, n_clients, per_client, n_docs, false);
+    let per_request = run_mode(false, n_clients, per_client, n_docs, false, false);
     per_request.print();
-    let keep_alive = run_mode(true, n_clients, per_client, n_docs, metrics);
+    let keep_alive = run_mode(true, n_clients, per_client, n_docs, metrics, false);
     keep_alive.print();
 
     println!(

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod scenario;
 
 use baps_trace::{Profile, Trace, TraceStats};

@@ -13,6 +13,10 @@
 //!   the `Trace-Id` header across every hop;
 //! * [`FlightRecorder`] — a bounded ring of structured span events,
 //!   dumped on demand and automatically when a chaos/live invariant trips;
+//! * [`span`] — causal tracing: [`SpanId`]s propagated in the `Span-Id`
+//!   header, the deterministic head-sampling rule ([`span::sampled`]),
+//!   the JSONL export behind the `TRACE BAPS/1.0` verb, and span-tree
+//!   assembly ([`span::assemble`]);
 //! * [`prom`] — Prometheus text exposition rendering (and a parser for
 //!   the CI smoke test), backing the `METRICS BAPS/1.0` verb.
 //!
@@ -25,10 +29,12 @@
 pub mod hist;
 pub mod prom;
 pub mod recorder;
+pub mod span;
 pub mod trace;
 
 pub use hist::{AtomicHistogram, LabeledHistograms, LatencyHistogram, Tier, TIER_NAMES};
 pub use recorder::{Event, EventKind, FlightRecorder};
+pub use span::{SpanId, SpanRecord, SpanTree};
 pub use trace::TraceId;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -216,6 +216,162 @@ fn split_label_pairs(body: &str) -> Vec<&str> {
     pairs
 }
 
+/// Validates exposition-format conformance beyond what [`parse`] checks:
+///
+/// * every sample's metric family has both a `# HELP` and a `# TYPE`
+///   comment, appearing **before** the family's first sample (histogram
+///   `_bucket`/`_sum`/`_count` samples belong to their base family);
+/// * metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*` /
+///   `[a-zA-Z_][a-zA-Z0-9_]*` (no leading digits);
+/// * `# TYPE` kinds are valid and declared at most once per family;
+/// * per histogram series (grouped by its non-`le` labels): `le` edges
+///   strictly increase, cumulative counts never drop, the last bucket is
+///   `le="+Inf"`, and its value equals the series' `_count` sample;
+/// * counter samples are finite and non-negative.
+pub fn check_conformance(text: &str) -> Result<(), String> {
+    use std::collections::{HashMap, HashSet};
+
+    fn name_ok(name: &str, allow_colon: bool) -> bool {
+        let mut chars = name.chars();
+        let first_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || (allow_colon && c == ':'));
+        first_ok
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':'))
+    }
+
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut typed: HashMap<String, String> = HashMap::new();
+    // Buckets per histogram series, keyed by family + sorted non-le
+    // labels, in order of appearance.
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut series_index: HashMap<String, usize> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+
+    // The base family of a sample name, honouring declared histograms:
+    // `x_bucket`/`x_sum`/`x_count` fold into `x` iff `x` is TYPE histogram.
+    let family_of = |name: &str, typed: &HashMap<String, String>| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if typed.get(base).map(String::as_str) == Some("histogram") {
+                    return base.to_string();
+                }
+            }
+        }
+        name.to_string()
+    };
+    let series_key = |family: &str, labels: &[(String, String)]| -> String {
+        let mut rest: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect();
+        rest.sort();
+        format!("{family}{{{}}}", rest.join(","))
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |what: String| Err(format!("line {}: {what}: {raw:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match (words.next(), words.next()) {
+                (Some("HELP"), Some(name)) => {
+                    if !name_ok(name, true) {
+                        return err(format!("bad family name in HELP: {name}"));
+                    }
+                    helped.insert(name.to_string());
+                }
+                (Some("TYPE"), Some(name)) => {
+                    let kind = words.next().unwrap_or_default();
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return err(format!("bad TYPE kind {kind:?} for {name}"));
+                    }
+                    if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                        return err(format!("duplicate TYPE for {name}"));
+                    }
+                }
+                _ => return err("malformed comment".to_string()),
+            }
+            continue;
+        }
+        // One sample line: reuse the syntax parser.
+        let sample = parse(line)?.pop().expect("one line parses to one sample");
+        if !name_ok(&sample.name, true) {
+            return err(format!("bad metric name {:?}", sample.name));
+        }
+        for (k, _) in &sample.labels {
+            if !name_ok(k, false) {
+                return err(format!("bad label name {k:?}"));
+            }
+        }
+        let family = family_of(&sample.name, &typed);
+        if !helped.contains(&family) {
+            return err(format!("sample before (or without) # HELP {family}"));
+        }
+        let Some(kind) = typed.get(&family) else {
+            return err(format!("sample before (or without) # TYPE {family}"));
+        };
+        if kind == "counter" && !(sample.value.is_finite() && sample.value >= 0.0) {
+            return err(format!("counter {family} with value {}", sample.value));
+        }
+        if kind == "histogram" {
+            let key = series_key(&family, &sample.labels);
+            if sample.name.ends_with("_bucket") {
+                let le = match sample.label("le") {
+                    Some("+Inf") => f64::INFINITY,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|e| format!("line {}: bad le {v:?}: {e}", lineno + 1))?,
+                    None => return err("histogram bucket without le".to_string()),
+                };
+                let idx = *series_index.entry(key).or_insert_with(|| {
+                    series.push((family.clone(), Vec::new()));
+                    series.len() - 1
+                });
+                series[idx].1.push((le, sample.value));
+            } else if sample.name.ends_with("_count") {
+                counts.insert(key, sample.value);
+            }
+        }
+    }
+
+    for (key, idx) in &series_index {
+        let (family, buckets) = &series[*idx];
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = f64::NEG_INFINITY;
+        for &(le, count) in buckets {
+            if le <= prev_le {
+                return Err(format!("{key}: le edges not strictly increasing"));
+            }
+            if count < prev_count {
+                return Err(format!("{key}: cumulative bucket counts drop"));
+            }
+            (prev_le, prev_count) = (le, count);
+        }
+        let Some(&(last_le, last_count)) = buckets.last() else {
+            return Err(format!("{key}: histogram series with no buckets"));
+        };
+        if !last_le.is_infinite() {
+            return Err(format!("{key}: last bucket is not le=\"+Inf\""));
+        }
+        let Some(&total) = counts.get(key) else {
+            return Err(format!("{key}: histogram series without a _count"));
+        };
+        if last_count != total {
+            return Err(format!(
+                "{key}: +Inf bucket {last_count} != {family}_count {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The value of the first sample matching `name` and all of `labels`
 /// (extra labels on the sample are allowed).
 pub fn find(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
@@ -306,6 +462,69 @@ mod tests {
         assert!(parse("# BOGUS comment").is_err());
         assert!(parse("bad name 3").is_err());
         assert!(parse("name nan-ish").is_err());
+    }
+
+    #[test]
+    fn conformance_accepts_builder_output() {
+        let mut h = LatencyHistogram::new();
+        for ms in [0.2, 3.0, 3.0, 700.0] {
+            h.record(ms);
+        }
+        let mut text = PromText::new();
+        text.counter("baps_requests_total", "GET requests handled.", 4);
+        text.gauge("baps_workers_busy", "Busy workers.", 3.0);
+        text.header("baps_queue_wait_ms", "histogram", "Time in queue.");
+        text.histogram("baps_queue_wait_ms", &[("pool", "proxy")], &h);
+        text.histogram("baps_queue_wait_ms", &[("pool", "origin")], &h);
+        check_conformance(&text.finish()).expect("builder output conforms");
+    }
+
+    #[test]
+    fn conformance_rejects_violations() {
+        // Sample with no HELP/TYPE.
+        assert!(check_conformance("m 1\n").is_err());
+        // HELP but no TYPE.
+        assert!(check_conformance("# HELP m h\nm 1\n").is_err());
+        // Sample before its declaration.
+        assert!(check_conformance("m 1\n# HELP m h\n# TYPE m counter\n").is_err());
+        // Duplicate TYPE.
+        assert!(
+            check_conformance("# HELP m h\n# TYPE m counter\n# TYPE m counter\nm 1\n").is_err()
+        );
+        // Bad TYPE kind, bad label name, negative counter.
+        assert!(check_conformance("# HELP m h\n# TYPE m banana\nm 1\n").is_err());
+        assert!(check_conformance("# HELP m h\n# TYPE m gauge\nm{9bad=\"x\"} 1\n").is_err());
+        assert!(check_conformance("# HELP m h\n# TYPE m counter\nm -1\n").is_err());
+
+        let hist_header = "# HELP m h\n# TYPE m histogram\n";
+        // Histogram whose last bucket is not +Inf.
+        assert!(check_conformance(&format!(
+            "{hist_header}m_bucket{{le=\"1\"}} 2\nm_sum 2\nm_count 2\n"
+        ))
+        .is_err());
+        // le edges out of order.
+        assert!(check_conformance(&format!(
+            "{hist_header}m_bucket{{le=\"5\"}} 1\nm_bucket{{le=\"1\"}} 2\n\
+             m_bucket{{le=\"+Inf\"}} 2\nm_sum 2\nm_count 2\n"
+        ))
+        .is_err());
+        // Cumulative counts dropping.
+        assert!(check_conformance(&format!(
+            "{hist_header}m_bucket{{le=\"1\"}} 3\nm_bucket{{le=\"+Inf\"}} 2\n\
+             m_sum 2\nm_count 2\n"
+        ))
+        .is_err());
+        // +Inf bucket disagreeing with _count.
+        assert!(check_conformance(&format!(
+            "{hist_header}m_bucket{{le=\"+Inf\"}} 2\nm_sum 2\nm_count 3\n"
+        ))
+        .is_err());
+        // A conforming histogram passes.
+        assert!(check_conformance(&format!(
+            "{hist_header}m_bucket{{le=\"1\"}} 1\nm_bucket{{le=\"+Inf\"}} 2\n\
+             m_sum 2\nm_count 2\n"
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! hot path). `dump` merges the stripes back into one sequence ordered by
 //! the global event counter.
 
+use crate::span::{SpanId, SpanRecord};
 use crate::trace::TraceId;
 use parking_lot::Mutex;
 use std::cell::Cell;
@@ -61,6 +62,9 @@ pub enum EventKind {
     /// Proxy: a miss coalesced onto another request's in-flight fetch
     /// (the span is the time spent parked on the flight's condvar).
     Coalesced,
+    /// Proxy: time a connection spent parked in the worker pool's accept
+    /// backlog before a worker picked it up.
+    QueueWait,
     /// An invariant violation (chaos soak, live test); always recorded.
     Violation,
 }
@@ -83,6 +87,7 @@ impl EventKind {
             EventKind::DiskRead => "disk-read",
             EventKind::DiskWrite => "disk-write",
             EventKind::Coalesced => "coalesced",
+            EventKind::QueueWait => "queue-wait",
             EventKind::Violation => "VIOLATION",
         }
     }
@@ -101,8 +106,33 @@ pub struct Event {
     pub kind: EventKind,
     /// Span duration in microseconds (0 for instantaneous events).
     pub dur_micros: u64,
+    /// This event's span id under causal tracing ([`SpanId::NONE`] for
+    /// events of unsampled traces — the legacy slow/multi-hop samples).
+    pub span: SpanId,
+    /// The parent span ([`SpanId::NONE`] for roots and non-span events).
+    pub parent: SpanId,
     /// Free-form context (`client=3 url=… outcome=hit`).
     pub detail: String,
+}
+
+impl Event {
+    /// The event as a causal-trace span record, when it carries one.
+    /// `start_us` is derived from the record-time timestamp minus the
+    /// duration (events are recorded when the span *ends*).
+    pub fn span_record(&self) -> Option<SpanRecord> {
+        if self.span.is_none() {
+            return None;
+        }
+        Some(SpanRecord {
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            kind: self.kind.name().to_owned(),
+            start_us: self.at_micros.saturating_sub(self.dur_micros),
+            dur_us: self.dur_micros,
+            detail: self.detail.clone(),
+        })
+    }
 }
 
 impl fmt::Display for Event {
@@ -116,7 +146,11 @@ impl fmt::Display for Event {
             self.kind.name(),
             self.dur_micros as f64 / 1e3,
             self.detail,
-        )
+        )?;
+        if !self.span.is_none() {
+            write!(f, "  span={}<-{}", self.span, self.parent)?;
+        }
+        Ok(())
     }
 }
 
@@ -223,17 +257,68 @@ impl FlightRecorder {
         if !crate::recording() {
             return;
         }
-        self.push(trace, kind, dur, detail.into());
+        self.push(trace, SpanId::NONE, SpanId::NONE, kind, dur, detail.into());
+    }
+
+    /// Records one span of a head-sampled trace, carrying its causal ids.
+    /// Like [`record`](Self::record), a no-op while recording is off.
+    pub fn record_span(
+        &self,
+        trace: TraceId,
+        span: SpanId,
+        parent: SpanId,
+        kind: EventKind,
+        dur: Duration,
+        detail: impl Into<String>,
+    ) {
+        if !crate::recording() {
+            return;
+        }
+        self.push(trace, span, parent, kind, dur, detail.into());
+    }
+
+    /// Records one hop either way: as a causal span under `parent` when
+    /// `span` was minted (see [`crate::span::hop`]), or as a plain event
+    /// when the trace is unsampled (`span` is [`SpanId::NONE`]).
+    pub fn record_hop(
+        &self,
+        trace: TraceId,
+        span: SpanId,
+        parent: SpanId,
+        kind: EventKind,
+        dur: Duration,
+        detail: impl Into<String>,
+    ) {
+        if span.is_none() {
+            self.record(trace, kind, dur, detail);
+        } else {
+            self.record_span(trace, span, parent, kind, dur, detail);
+        }
     }
 
     /// Records an instantaneous event **unconditionally** — used for
     /// invariant violations, which must land in the dump even if a
     /// benchmark turned recording off.
     pub fn note(&self, trace: TraceId, kind: EventKind, detail: impl Into<String>) {
-        self.push(trace, kind, Duration::ZERO, detail.into());
+        self.push(
+            trace,
+            SpanId::NONE,
+            SpanId::NONE,
+            kind,
+            Duration::ZERO,
+            detail.into(),
+        );
     }
 
-    fn push(&self, trace: TraceId, kind: EventKind, dur: Duration, detail: String) {
+    fn push(
+        &self,
+        trace: TraceId,
+        span: SpanId,
+        parent: SpanId,
+        kind: EventKind,
+        dur: Duration,
+        detail: String,
+    ) {
         let at_micros = self.epoch.elapsed().as_micros() as u64;
         let dur_micros = dur.as_micros() as u64;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -249,6 +334,8 @@ impl FlightRecorder {
             trace,
             kind,
             dur_micros,
+            span,
+            parent,
             detail,
         });
     }
@@ -283,6 +370,21 @@ impl FlightRecorder {
             .collect();
         events.sort_by_key(|e| e.seq);
         events
+    }
+
+    /// The ring's causal-trace spans as JSONL, one [`SpanRecord`] per
+    /// line, oldest first — the body of a `TRACE BAPS/1.0` reply. Events
+    /// without a span id (legacy slow/multi-hop samples, violations) are
+    /// skipped.
+    pub fn dump_spans(&self) -> String {
+        let mut out = String::new();
+        for event in self.dump() {
+            if let Some(record) = event.span_record() {
+                out.push_str(&record.render_line());
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// The ring rendered as text, one event per line, for humans and for
@@ -329,6 +431,46 @@ mod tests {
     // The recording-switch behaviour is covered in tests/properties.rs:
     // it flips a process-global flag, which must not race the other unit
     // tests in this binary.
+
+    #[test]
+    fn span_events_export_as_jsonl() {
+        let rec = FlightRecorder::new(8);
+        let trace = TraceId::mint(1, 3);
+        let root = SpanId::mint();
+        let child = SpanId::mint();
+        rec.record_span(
+            trace,
+            root,
+            SpanId::NONE,
+            EventKind::Fetch,
+            Duration::from_micros(500),
+            "client=1",
+        );
+        rec.record_span(
+            trace,
+            child,
+            root,
+            EventKind::OriginFetch,
+            Duration::from_micros(200),
+            "url=u",
+        );
+        // A non-span event must not leak into the JSONL dump.
+        rec.record(trace, EventKind::Verify, Duration::from_micros(9), "x");
+
+        let jsonl = rec.dump_spans();
+        let records = crate::span::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(records.len(), 2);
+        let trees = crate::span::assemble(&records);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].trace, trace);
+        assert_eq!(trees[0].root.record.span, root);
+        assert_eq!(trees[0].root.children.len(), 1);
+        assert_eq!(trees[0].root.children[0].record.kind, "origin-fetch");
+        // start_us is derived from the end-time stamp minus the duration.
+        let r = &trees[0].root.record;
+        assert_eq!(r.dur_us, 500);
+        assert!(r.end_us() >= 500);
+    }
 
     #[test]
     fn render_includes_trace_ids() {

@@ -1,13 +1,18 @@
 //! Property-based tests of the histogram invariants the METRICS pipeline
 //! leans on: merging distributed recordings is lossless, and quantile
 //! estimates stay monotone and inside the documented bucket error bound.
+//! Plus the span-tree assembly invariants the `TRACE` pipeline leans on:
+//! no record is ever orphaned (even when the bounded ring dropped
+//! arbitrary spans), parent links are honoured, and assembly is
+//! deterministic and independent of input order.
 //!
 //! The recording-switch test lives here too (not in `hist.rs` unit tests)
 //! because it flips process-global state: this file's proptests only use
 //! the ungated `LatencyHistogram`, so the switch can't race them.
 
 use baps_obs::hist::{LatencyHistogram, BUCKETS_PER_DECADE};
-use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, TraceId};
+use baps_obs::span::{assemble, SpanRecord};
+use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, SpanId, TraceId};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -74,6 +79,141 @@ proptest! {
             prop_assert!(est * width >= truth * (1.0 - 1e-9),
                 "q{q}: estimate {est} more than one bucket below {truth}");
         }
+    }
+}
+
+/// Random span forests: each span's parent is one of the earlier spans
+/// (or none), spread over up to three traces, so the result is a mix of
+/// roots, chains, and bushy trees. `(parent_seed, trace, start, dur)`
+/// per span; span ids are 1-based positions.
+fn forest_strategy() -> impl Strategy<Value = Vec<SpanRecord>> {
+    proptest::collection::vec((any::<u64>(), 0u64..3, 0u64..100_000, 0u64..10_000), 1..48).prop_map(
+        |raw| {
+            let kinds = [
+                "fetch",
+                "dial",
+                "verify",
+                "queue-wait",
+                "origin-fetch",
+                "peer-probe",
+            ];
+            // Trace of span i: fixed per root, inherited from the parent
+            // otherwise (a real trace never crosses parents).
+            let mut traces: Vec<TraceId> = Vec::with_capacity(raw.len());
+            raw.iter()
+                .enumerate()
+                .map(|(i, &(parent_seed, trace, start, dur))| {
+                    // parent_seed % (i+1): 0 = root, j>0 = span j.
+                    let pick = (parent_seed % (i as u64 + 1)) as usize;
+                    let (parent, trace) = if pick == 0 {
+                        (SpanId::NONE, TraceId(trace + 1))
+                    } else {
+                        (SpanId(pick as u64), traces[pick - 1])
+                    };
+                    traces.push(trace);
+                    SpanRecord {
+                        trace,
+                        span: SpanId(i as u64 + 1),
+                        parent,
+                        kind: kinds[i % kinds.len()].to_owned(),
+                        start_us: start,
+                        dur_us: dur,
+                        detail: format!("i={i}"),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Flattens assembled trees into `(trace, span, parent-or-root, depth)`
+/// rows — a canonical form two assemblies can be compared by.
+fn shape(trees: &[baps_obs::SpanTree]) -> Vec<(TraceId, SpanId, SpanId, usize)> {
+    let mut rows = Vec::new();
+    for tree in trees {
+        tree.root.walk(&mut |node, depth| {
+            rows.push((
+                node.record.trace,
+                node.record.span,
+                node.record.parent,
+                depth,
+            ));
+        });
+    }
+    rows
+}
+
+proptest! {
+    /// Every record survives assembly exactly once — even after dropping
+    /// an arbitrary subset first (the bounded ring evicting spans), which
+    /// turns interior spans' children into promoted roots rather than
+    /// orphans. Wire round-trip (render → parse) is included so the
+    /// property covers the whole TRACE export path.
+    #[test]
+    fn assembly_orphans_nothing_under_drops(
+        records in forest_strategy(),
+        drop_bits in any::<u64>(),
+    ) {
+        let kept: Vec<SpanRecord> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| drop_bits >> (i % 64) & 1 == 0)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let jsonl: String = kept.iter().map(|r| r.render_line() + "\n").collect();
+        let parsed = baps_obs::span::parse_jsonl(&jsonl).expect("round-trip parses");
+        prop_assert_eq!(&parsed, &kept);
+
+        let trees = assemble(&parsed);
+        let mut seen: Vec<(TraceId, SpanId)> =
+            shape(&trees).iter().map(|&(t, s, _, _)| (t, s)).collect();
+        seen.sort();
+        let mut expect: Vec<(TraceId, SpanId)> =
+            kept.iter().map(|r| (r.trace, r.span)).collect();
+        expect.sort();
+        prop_assert_eq!(seen, expect, "assembly must keep every record exactly once");
+    }
+
+    /// Structural nesting: a node sits under its recorded parent whenever
+    /// that parent survived, and becomes a root otherwise; children never
+    /// cross traces.
+    #[test]
+    fn assembly_honours_parent_links(records in forest_strategy()) {
+        let trees = assemble(&records);
+        for tree in &trees {
+            prop_assert_eq!(
+                tree.root.record.parent, SpanId::NONE,
+                "no span was dropped, so every root must be a true root"
+            );
+            let mut ok = true;
+            tree.root.walk(&mut |node, _| {
+                for child in &node.children {
+                    ok &= child.record.parent == node.record.span
+                        && child.record.trace == node.record.trace;
+                }
+            });
+            prop_assert!(ok, "child under a node it does not name as parent");
+        }
+    }
+
+    /// Determinism and order independence: reversing or rotating the
+    /// input yields an identical assembly, and assembling twice yields
+    /// identical trees.
+    #[test]
+    fn assembly_is_deterministic_and_order_independent(
+        records in forest_strategy(),
+        rot in 0usize..48,
+    ) {
+        let baseline = shape(&assemble(&records));
+        prop_assert_eq!(&baseline, &shape(&assemble(&records)));
+
+        let mut reversed = records.clone();
+        reversed.reverse();
+        prop_assert_eq!(&baseline, &shape(&assemble(&reversed)));
+
+        let mut rotated = records.clone();
+        rotated.rotate_left(rot % records.len().max(1));
+        prop_assert_eq!(&baseline, &shape(&assemble(&rotated)));
     }
 }
 

@@ -6,6 +6,13 @@
 //! header on each hop (GET to the proxy, the proxy's PEERGET/PUSH to a
 //! peer, the origin fetch, the direct DELIVER), so one grep through a
 //! flight-recorder dump reconstructs the whole request path.
+//!
+//! Head-sampled traces ([`baps_obs::span::sampled`], a deterministic 1-in-N
+//! hash of the trace id) additionally carry a causal **span tree**: the
+//! client mints the root span beside the trace id and forwards it in the
+//! `Span-Id` header; every downstream hop mints child spans under it, so a
+//! `TRACE BAPS/1.0` dump reassembles the whole client→proxy→peer/origin
+//! tree with parent/child timing attribution.
 
 use crate::error::ProxyError;
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
@@ -16,7 +23,9 @@ use crate::protocol::{
 use crate::proxy::{verb_index, PROXY_VERBS};
 use crate::store::{BodyCache, CachedDoc};
 use baps_crypto::{verify_document, CryptoError, PublicKey, Watermark};
-use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, Tier, TraceId, TIER_NAMES};
+use baps_obs::{
+    span, EventKind, FlightRecorder, LabeledHistograms, SpanId, Tier, TraceId, TIER_NAMES,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -384,6 +393,14 @@ impl ClientAgent {
         self.roundtrip(Message::new("METRICS BAPS/1.0"))
     }
 
+    /// Scrapes the deployment's causal-trace span dump over the wire
+    /// (`TRACE BAPS/1.0`). The reply body is JSONL, one
+    /// [`baps_obs::SpanRecord`] per line, assembled into trees with
+    /// [`baps_obs::span::assemble`].
+    pub fn proxy_trace_raw(&self) -> Result<Message, ProxyError> {
+        self.roundtrip(Message::new("TRACE BAPS/1.0"))
+    }
+
     fn register(&self) -> Result<(), ProxyError> {
         let reply = self.roundtrip(
             Message::new(format!("REGISTER {} BAPS/1.0", self.peer_addr.port()))
@@ -411,14 +428,20 @@ impl ClientAgent {
         // One trace id per *logical* fetch: retries and the bypass refetch
         // reuse it, so a dump shows them as spans of the same request.
         let trace = TraceId::mint(self.id, self.fetch_seq.fetch_add(1, Ordering::Relaxed));
+        // Head sampling: 1-in-N traces carry a full causal span tree. The
+        // root span is minted here at the edge; every downstream hop
+        // attaches under it via the `Span-Id` header.
+        let root = span::hop(trace);
         let t_fetch = Instant::now();
         let local = self.state.cache.lock().get(url).map(|doc| doc.body.clone());
         if let Some(body) = local {
             let elapsed = t_fetch.elapsed();
             self.obs.tiers.record(Tier::Local.index(), elapsed);
-            if elapsed > SLOW_FETCH {
-                self.obs.recorder.record(
+            if !root.is_none() || elapsed > SLOW_FETCH {
+                self.obs.recorder.record_hop(
                     trace,
+                    root,
+                    SpanId::NONE,
                     EventKind::Fetch,
                     elapsed,
                     format!("client={} url={url} source=local", self.id),
@@ -432,12 +455,12 @@ impl ClientAgent {
         let mut attempts_left = self.config.retries;
         let mut backoff = self.config.retry_backoff;
         loop {
-            let result = match self.fetch_via_proxy(url, false, trace) {
+            let result = match self.fetch_via_proxy(url, false, trace, root) {
                 Err(ProxyError::Integrity(_)) | Err(ProxyError::DeliveryTimeout) => {
                     // A peer served tampered bytes or never delivered:
                     // bypass peers and retry (doesn't consume an attempt —
                     // it is a different request, not a repeat).
-                    self.fetch_via_proxy(url, true, trace)
+                    self.fetch_via_proxy(url, true, trace, root)
                 }
                 other => other,
             };
@@ -462,20 +485,26 @@ impl ClientAgent {
                             };
                             self.obs.tiers.record(tier.index(), elapsed);
                             // Multi-hop fetches are always worth a span;
-                            // plain cache hits only when they ran slow
-                            // (the histograms account for the fast bulk).
+                            // plain cache hits only when they ran slow or
+                            // the trace is head-sampled (whose tree needs
+                            // its root); the histograms account for the
+                            // fast unsampled bulk.
                             let multi_hop = matches!(tier, Tier::Peer | Tier::Origin);
-                            if multi_hop || elapsed > SLOW_FETCH {
-                                self.obs.recorder.record(
+                            if !root.is_none() || multi_hop || elapsed > SLOW_FETCH {
+                                self.obs.recorder.record_hop(
                                     trace,
+                                    root,
+                                    SpanId::NONE,
                                     EventKind::Fetch,
                                     elapsed,
                                     format!("client={} url={url} source={}", self.id, tier.name()),
                                 );
                             }
                         }
-                        Err(e) => self.obs.recorder.record(
+                        Err(e) => self.obs.recorder.record_hop(
                             trace,
+                            root,
+                            SpanId::NONE,
                             EventKind::Fetch,
                             elapsed,
                             format!("client={} url={url} outcome=err: {e}", self.id),
@@ -510,10 +539,15 @@ impl ClientAgent {
         url: &str,
         bypass: bool,
         trace: TraceId,
+        root: SpanId,
     ) -> Result<FetchResult, ProxyError> {
         let mut req = Message::new(format!("GET {url} BAPS/1.0"))
             .header("Client", self.id.to_string())
             .header("Trace-Id", trace.to_string());
+        if !root.is_none() {
+            // The root span parents every proxy-side span of this request.
+            req = req.header("Span-Id", root.to_string());
+        }
         let notices: Vec<String> = std::mem::take(&mut *self.pending_evictions.lock());
         if !notices.is_empty() {
             req = req.header("Evicted", notices.join(" "));
@@ -561,7 +595,7 @@ impl ClientAgent {
                 let doc = self
                     .await_delivery(txn)
                     .ok_or(ProxyError::DeliveryTimeout)?;
-                self.verify_traced(trace, url, &doc.body, &doc.watermark)?;
+                self.verify_traced(trace, root, url, &doc.body, &doc.watermark)?;
                 let evicted = self.state.cache.lock().insert(url, doc.clone());
                 self.note_stored(url, evicted);
                 return Ok(FetchResult {
@@ -575,7 +609,7 @@ impl ClientAgent {
             .get("X-Watermark")
             .ok_or_else(|| ProxyError::Protocol("missing watermark".into()))
             .and_then(|h| Watermark::from_hex(h).map_err(ProxyError::Integrity))?;
-        self.verify_traced(trace, url, &reply.body, &watermark)?;
+        self.verify_traced(trace, root, url, &reply.body, &watermark)?;
 
         // Cache the verified copy; queue eviction notices for the next
         // request instead of spending a round trip per victim now.
@@ -636,6 +670,7 @@ impl ClientAgent {
     fn verify_traced(
         &self,
         trace: TraceId,
+        root: SpanId,
         url: &str,
         body: &Body,
         watermark: &Watermark,
@@ -644,9 +679,16 @@ impl ClientAgent {
         let t_verify = Instant::now();
         let verdict = verify_document(&self.proxy_key, body, watermark);
         let verify_time = t_verify.elapsed();
-        if verdict.is_err() || verify_time > SLOW_VERIFY {
-            self.obs.recorder.record(
+        if verdict.is_err() || verify_time > SLOW_VERIFY || !root.is_none() {
+            let vspan = if root.is_none() {
+                SpanId::NONE
+            } else {
+                SpanId::mint()
+            };
+            self.obs.recorder.record_hop(
                 trace,
+                vspan,
+                root,
                 EventKind::Verify,
                 verify_time,
                 format!(
@@ -734,12 +776,20 @@ impl ClientAgent {
         result
     }
 
-    /// Dials the proxy, recording the dial as a span of `trace`.
-    fn dial_traced(&self, trace: TraceId, reason: &str) -> io::Result<ProxyConn> {
+    /// Dials the proxy, recording the dial as a span of `trace` (a causal
+    /// child of `parent` when the request carries a sampled span tree).
+    fn dial_traced(&self, trace: TraceId, parent: SpanId, reason: &str) -> io::Result<ProxyConn> {
         let t_dial = Instant::now();
         let conn = ProxyConn::dial(self.proxy_addr, self.config.proxy_deadline);
-        self.obs.recorder.record(
+        let dspan = if parent.is_none() {
+            SpanId::NONE
+        } else {
+            SpanId::mint()
+        };
+        self.obs.recorder.record_hop(
             trace,
+            dspan,
+            parent,
             EventKind::Dial,
             t_dial.elapsed(),
             format!(
@@ -764,14 +814,18 @@ impl ClientAgent {
             .get("Trace-Id")
             .and_then(|h| h.parse().ok())
             .unwrap_or(TraceId::NONE);
+        let parent = msg
+            .get("Span-Id")
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(SpanId::NONE);
         if !self.keep_alive.load(Ordering::Acquire) {
-            let mut conn = self.dial_traced(trace, "one-shot")?;
+            let mut conn = self.dial_traced(trace, parent, "one-shot")?;
             return conn.exchange(msg)?.ok_or_else(hung_up);
         }
         let mut guard = self.proxy_conn.lock();
         let reused = guard.is_some();
         if guard.is_none() {
-            *guard = Some(self.dial_traced(trace, "first-use")?);
+            *guard = Some(self.dial_traced(trace, parent, "first-use")?);
         }
         let conn = guard.as_mut().expect("connection dialed above");
         match conn.exchange(msg) {
@@ -781,7 +835,7 @@ impl ClientAgent {
             Ok(None) | Err(_) if reused => {
                 *guard = None;
                 self.reconnects.fetch_add(1, Ordering::Relaxed);
-                let mut conn = self.dial_traced(trace, "reconnect")?;
+                let mut conn = self.dial_traced(trace, parent, "reconnect")?;
                 // A dropped connection may mean the proxy restarted and
                 // lost its in-memory registrations: re-introduce this
                 // client's peer port before replaying, so peer fetches
@@ -892,6 +946,13 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             .get("Trace-Id")
             .and_then(|h| h.parse().ok())
             .unwrap_or(TraceId::NONE);
+        // For sampled traces the dialer (the proxy on PEERGET/PUSH, the
+        // pushing peer on DELIVER) forwards its own hop span; our serve
+        // span attaches under it, stitching the tree across processes.
+        let parent = msg
+            .get("Span-Id")
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(SpanId::NONE);
         // Fault decisions apply only to requests we serve *to* peers.
         let faultable = matches!(tokens.first(), Some(&"PEERGET") | Some(&"PUSH"));
         let fault = match (faultable, state.faults.as_deref()) {
@@ -903,6 +964,11 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
             return Ok(());
         }
         let t_serve = Instant::now();
+        let serve_span = if parent.is_none() {
+            SpanId::NONE
+        } else {
+            SpanId::mint()
+        };
         let reply = match tokens.as_slice() {
             _ if fault == Some(FaultKind::PeerRefuse) => {
                 // Claim the document is gone even though we may hold it.
@@ -923,8 +989,10 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                     }
                     None => response(status::GONE, "Gone"),
                 };
-                state.recorder.record(
+                state.recorder.record_hop(
                     trace,
+                    serve_span,
+                    parent,
                     EventKind::PeerServe,
                     t_serve.elapsed(),
                     format!(
@@ -949,7 +1017,7 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                         state.peer_serves.fetch_add(1, Ordering::Relaxed);
                         let (body, hex) =
                             tampered(*state.tamper.lock(), &doc.body, doc.watermark.to_hex());
-                        match deliver_to(&target, url, &txn, &hex, body, trace) {
+                        match deliver_to(&target, url, &txn, &hex, body, trace, serve_span) {
                             Ok(()) => response(status::OK, "OK"),
                             Err(_) => response(status::GONE, "Delivery Failed"),
                         }
@@ -957,8 +1025,10 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                     (_, _, None) => response(status::GONE, "Gone"),
                     _ => response(status::BAD_REQUEST, "Bad Request"),
                 };
-                state.recorder.record(
+                state.recorder.record_hop(
                     trace,
+                    serve_span,
+                    parent,
                     EventKind::PeerServe,
                     t_serve.elapsed(),
                     format!(
@@ -989,8 +1059,10 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
                             },
                         );
                         state.delivered.notify_all();
-                        state.recorder.record(
+                        state.recorder.record_hop(
                             trace,
+                            serve_span,
+                            parent,
                             EventKind::Deliver,
                             Duration::ZERO,
                             format!("client={} url={url} txn={txn}", state.id),
@@ -1015,6 +1087,7 @@ fn serve_peer(stream: TcpStream, state: &ClientState) -> io::Result<()> {
 }
 
 /// Connects to a requester's delivery address and pushes the document.
+#[allow(clippy::too_many_arguments)]
 fn deliver_to(
     target: &str,
     url: &str,
@@ -1022,6 +1095,7 @@ fn deliver_to(
     watermark_hex: &str,
     body: Body,
     trace: TraceId,
+    span: SpanId,
 ) -> io::Result<()> {
     let addr: SocketAddr = target
         .parse()
@@ -1030,12 +1104,14 @@ fn deliver_to(
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(DELIVERY_TIMEOUT))?;
     let mut writer = stream;
-    write_message(
-        &mut writer,
-        &Message::new(format!("DELIVER {url} BAPS/1.0"))
-            .header("Txn", txn)
-            .header("X-Watermark", watermark_hex)
-            .header("Trace-Id", trace.to_string())
-            .with_body(body),
-    )
+    let mut msg = Message::new(format!("DELIVER {url} BAPS/1.0"))
+        .header("Txn", txn)
+        .header("X-Watermark", watermark_hex)
+        .header("Trace-Id", trace.to_string());
+    if !span.is_none() {
+        // The pushing peer's serve span parents the requester's deliver
+        // span.
+        msg = msg.header("Span-Id", span.to_string());
+    }
+    write_message(&mut writer, &msg.with_body(body))
 }

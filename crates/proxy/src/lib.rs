@@ -42,7 +42,7 @@ pub use disk::{DiskConfig, DiskStats, DiskTier};
 pub use error::ProxyError;
 pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;
-pub use pool::{dial_with_deadline, ConnRegistry, WorkerPool};
+pub use pool::{dial_with_deadline, ConnRegistry, PoolTelemetry, SaturationSnapshot, WorkerPool};
 pub use protocol::{encode_message, read_message, response_code, write_message, Body, Message};
 pub use proxy::{ProxyConfig, ProxyCounters, ProxyServer, ProxyStats};
 pub use runtime::{TestBed, TestBedConfig};

@@ -224,6 +224,52 @@ pub(crate) fn render(state: &ProxyState) -> String {
         state.obs.recorder.dropped(),
     );
 
+    // Runtime saturation: how busy the worker pool runs and how long
+    // connections wait in the accept backlog — the measured evidence for
+    // or against the thread-per-connection architecture.
+    let sat = state.telemetry.snapshot();
+    out.gauge(
+        "baps_workers",
+        "Worker threads serving client connections.",
+        sat.workers as f64,
+    );
+    out.gauge(
+        "baps_workers_busy",
+        "Workers currently serving a connection.",
+        sat.busy_workers as f64,
+    );
+    out.gauge(
+        "baps_workers_busy_peak",
+        "Most workers simultaneously busy since start.",
+        sat.busy_workers_peak as f64,
+    );
+    out.gauge(
+        "baps_queue_depth",
+        "Connections currently parked in the accept backlog.",
+        sat.queue_depth as f64,
+    );
+    out.gauge(
+        "baps_queue_depth_peak",
+        "Deepest the accept backlog has been since start.",
+        sat.queue_depth_peak as f64,
+    );
+    out.counter(
+        "baps_queue_rejected_total",
+        "Connections dropped because the accept backlog was full.",
+        sat.rejected,
+    );
+    out.gauge(
+        "baps_flight_registry_occupancy",
+        "In-flight coalescing entries open right now.",
+        state.inflight_occupancy() as f64,
+    );
+    out.header(
+        "baps_queue_wait_ms",
+        "histogram",
+        "Time connections spent in the accept backlog, milliseconds.",
+    );
+    out.histogram("baps_queue_wait_ms", &[], &sat.queue_wait);
+
     // Latency histograms: answered GETs by serve tier, and every
     // dispatched message by verb.
     out.header(

@@ -11,7 +11,7 @@ use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
 use crate::pool::{WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
 use crate::protocol::{read_message, response, status, write_message, Message};
 use crate::store::DocumentStore;
-use baps_obs::{EventKind, FlightRecorder, TraceId};
+use baps_obs::{EventKind, FlightRecorder, SpanId, TraceId};
 use parking_lot::RwLock;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -199,8 +199,21 @@ fn serve_connection(
                         .get("Trace-Id")
                         .and_then(|h| h.parse().ok())
                         .unwrap_or(TraceId::NONE);
-                    recorder.record(
+                    // On sampled traces the proxy forwards its origin-fetch
+                    // span in `Span-Id`; our serve span attaches under it.
+                    let parent = msg
+                        .get("Span-Id")
+                        .and_then(|h| h.parse().ok())
+                        .unwrap_or(SpanId::NONE);
+                    let serve_span = if parent.is_none() {
+                        SpanId::NONE
+                    } else {
+                        SpanId::mint()
+                    };
+                    recorder.record_hop(
                         trace,
+                        serve_span,
+                        parent,
                         EventKind::OriginServe,
                         t_serve.elapsed(),
                         format!(

@@ -16,6 +16,7 @@
 //!   calls [`TcpStream::shutdown`] on every registered socket, which makes
 //!   each handler's blocking read return and its loop exit.
 
+use baps_obs::{AtomicHistogram, LatencyHistogram};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -24,7 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default worker threads per server.
 pub const DEFAULT_WORKERS: usize = 8;
@@ -108,14 +109,105 @@ impl ConnRegistry {
     }
 }
 
+/// Runtime-saturation telemetry for one [`WorkerPool`]: how deep the
+/// accept backlog runs, how long connections sit in it before a worker
+/// picks them up, and how many workers are busy — the measured evidence
+/// for (or against) the thread-per-connection architecture (ROADMAP
+/// item 1: queue delay vs service time decides the event-driven reactor).
+///
+/// All fields are plain atomics recorded unconditionally: saturation data
+/// must exist even when the overhead benchmark turns event recording off,
+/// and a handful of relaxed atomic ops per *connection* (not per request)
+/// is far below the always-on budget.
+#[derive(Debug, Default)]
+pub struct PoolTelemetry {
+    workers: AtomicU64,
+    queued: AtomicU64,
+    queued_peak: AtomicU64,
+    busy: AtomicU64,
+    busy_peak: AtomicU64,
+    rejected: AtomicU64,
+    queue_wait: AtomicHistogram,
+}
+
+/// A point-in-time copy of a pool's [`PoolTelemetry`].
+#[derive(Debug, Clone)]
+pub struct SaturationSnapshot {
+    /// Configured worker threads.
+    pub workers: u64,
+    /// Connections currently parked in the accept backlog.
+    pub queue_depth: u64,
+    /// Deepest the backlog has been since start.
+    pub queue_depth_peak: u64,
+    /// Workers currently serving a connection.
+    pub busy_workers: u64,
+    /// Most workers simultaneously busy since start.
+    pub busy_workers_peak: u64,
+    /// Connections dropped because the backlog was full.
+    pub rejected: u64,
+    /// Time connections spent in the backlog before a worker claimed them.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl PoolTelemetry {
+    /// Creates zeroed telemetry; hand it to [`WorkerPool::start_with`].
+    pub fn new() -> PoolTelemetry {
+        PoolTelemetry::default()
+    }
+
+    fn raise_peak(peak: &AtomicU64, value: u64) {
+        // Same cheap discipline as `AtomicHistogram::record_ms`: skip the
+        // CAS loop unless this is actually a new peak.
+        if value > peak.load(Ordering::Relaxed) {
+            peak.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    fn enqueued(&self) {
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        Self::raise_peak(&self.queued_peak, depth);
+    }
+
+    fn enqueue_failed(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn dequeued(&self, wait: Duration) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.record(wait);
+    }
+
+    fn task_started(&self) {
+        let busy = self.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        Self::raise_peak(&self.busy_peak, busy);
+    }
+
+    fn task_finished(&self) {
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every gauge, peak, and the wait histogram.
+    pub fn snapshot(&self) -> SaturationSnapshot {
+        SaturationSnapshot {
+            workers: self.workers.load(Ordering::Relaxed),
+            queue_depth: self.queued.load(Ordering::Relaxed),
+            queue_depth_peak: self.queued_peak.load(Ordering::Relaxed),
+            busy_workers: self.busy.load(Ordering::Relaxed),
+            busy_workers_peak: self.busy_peak.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+        }
+    }
+}
+
 /// A fixed-size pool of worker threads serving accepted connections from a
 /// bounded queue.
 pub struct WorkerPool {
-    tx: SyncSender<TcpStream>,
+    tx: SyncSender<(TcpStream, Instant)>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<ConnRegistry>,
-    /// Connections dropped because the backlog was full.
-    rejected: Arc<AtomicU64>,
+    telemetry: Arc<PoolTelemetry>,
 }
 
 impl WorkerPool {
@@ -131,38 +223,68 @@ impl WorkerPool {
     where
         F: Fn(TcpStream) + Send + Sync + 'static,
     {
+        Self::start_with(
+            name,
+            workers,
+            backlog,
+            Arc::new(PoolTelemetry::new()),
+            move |stream, _queue_wait| handler(stream),
+        )
+    }
+
+    /// [`start`](Self::start) with caller-owned [`PoolTelemetry`] (so the
+    /// handler's captured state can hold the same `Arc`) and a handler
+    /// that also receives the time this connection spent parked in the
+    /// accept backlog — the proxy attributes it to the connection's first
+    /// request as a `queue-wait` span.
+    pub fn start_with<F>(
+        name: &str,
+        workers: usize,
+        backlog: usize,
+        telemetry: Arc<PoolTelemetry>,
+        handler: F,
+    ) -> io::Result<WorkerPool>
+    where
+        F: Fn(TcpStream, Duration) + Send + Sync + 'static,
+    {
         let workers = workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog.max(1));
+        telemetry.workers.store(workers as u64, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let registry = Arc::new(ConnRegistry::new());
         let handler = Arc::new(handler);
-        let rejected = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = Arc::clone(&rx);
             let registry = Arc::clone(&registry);
             let handler = Arc::clone(&handler);
+            let telemetry = Arc::clone(&telemetry);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry, &*handler))?,
+                    .spawn(move || worker_loop(&rx, &registry, &telemetry, &*handler))?,
             );
         }
         Ok(WorkerPool {
             tx,
             workers: handles,
             registry,
-            rejected,
+            telemetry,
         })
     }
 
     /// Queues an accepted connection for a worker. Returns `false` (and
     /// drops the connection) when the backlog is full or the pool stopped.
     pub fn dispatch(&self, stream: TcpStream) -> bool {
-        match self.tx.try_send(stream) {
+        // Count the connection *before* handing it over: a worker may
+        // claim it (and decrement the gauge) the instant `try_send`
+        // lands, so incrementing afterwards would race the gauge below
+        // zero. A failed send undoes the increment.
+        self.telemetry.enqueued();
+        match self.tx.try_send((stream, Instant::now())) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.enqueue_failed();
                 false
             }
         }
@@ -170,12 +292,17 @@ impl WorkerPool {
 
     /// Connections dropped because the backlog was full.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.telemetry.rejected.load(Ordering::Relaxed)
     }
 
     /// The pool's connection registry (for shutdown and diagnostics).
     pub fn registry(&self) -> &Arc<ConnRegistry> {
         &self.registry
+    }
+
+    /// The pool's saturation telemetry.
+    pub fn telemetry(&self) -> &Arc<PoolTelemetry> {
+        &self.telemetry
     }
 
     /// Stops accepting new work, unblocks in-flight handlers by closing
@@ -192,25 +319,32 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop<F: Fn(TcpStream) + ?Sized>(
-    rx: &Mutex<Receiver<TcpStream>>,
+fn worker_loop<F: Fn(TcpStream, Duration) + ?Sized>(
+    rx: &Mutex<Receiver<(TcpStream, Instant)>>,
     registry: &ConnRegistry,
+    telemetry: &PoolTelemetry,
     handler: &F,
 ) {
     loop {
         // Hold the lock only while waiting for the next connection, so
         // idle workers queue up on the receiver fairly.
-        let stream = {
+        let received = {
             let rx = rx.lock();
             rx.recv()
         };
-        let Ok(stream) = stream else { break };
+        let Ok((stream, enqueued_at)) = received else {
+            break;
+        };
+        let queue_wait = enqueued_at.elapsed();
+        telemetry.dequeued(queue_wait);
         // Request/response protocol: never trade latency for batching.
         let _ = stream.set_nodelay(true);
         let Some(token) = registry.register(&stream) else {
             continue; // shutting down: drop the connection
         };
-        handler(stream);
+        telemetry.task_started();
+        handler(stream, queue_wait);
+        telemetry.task_finished();
         registry.deregister(token);
     }
 }
@@ -275,6 +409,53 @@ mod tests {
         // Without close_all this would hang forever on join.
         pool.shutdown();
         drop(client);
+    }
+
+    #[test]
+    fn telemetry_tracks_queue_busy_and_waits() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let telemetry = Arc::new(PoolTelemetry::new());
+        let pool = WorkerPool::start_with(
+            "telemetry-pool",
+            2,
+            4,
+            Arc::clone(&telemetry),
+            |mut s: TcpStream, queue_wait: Duration| {
+                // The measured wait is handed to the handler so servers can
+                // attribute it to the connection's first request.
+                assert!(queue_wait < Duration::from_secs(5));
+                let mut buf = [0u8; 4];
+                if s.read_exact(&mut buf).is_ok() {
+                    let _ = s.write_all(&buf);
+                }
+            },
+        )
+        .unwrap();
+        let acceptor = std::thread::spawn(move || {
+            for _ in 0..4 {
+                let (conn, _) = listener.accept().unwrap();
+                assert!(pool.dispatch(conn));
+            }
+            pool
+        });
+        for _ in 0..4 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).unwrap();
+        }
+        let pool = acceptor.join().unwrap();
+        let snap = pool.telemetry().snapshot();
+        assert_eq!(snap.workers, 2);
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.queue_wait.count(), 4, "every dispatch waits once");
+        assert!(snap.busy_workers_peak >= 1);
+        assert!(snap.queue_depth_peak >= 1);
+        pool.shutdown();
+        // After shutdown nothing is queued or busy.
+        assert_eq!(telemetry.snapshot().queue_depth, 0);
+        assert_eq!(telemetry.snapshot().busy_workers, 0);
     }
 
     #[test]

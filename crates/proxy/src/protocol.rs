@@ -30,6 +30,11 @@
 //!   per-tier/per-verb latency histograms — see DESIGN.md §9), with
 //!   `Content-Type: text/plain; version=0.0.4`. Supersedes the ad-hoc
 //!   `STATS` headers for monitoring; `STATS` remains for compatibility;
+//! * `TRACE BAPS/1.0` — operator → proxy trace export; the reply body is
+//!   JSONL, one span per line, drained from the proxy's flight recorder
+//!   (`Content-Type: application/jsonl`, plus `Sample-One-In` naming the
+//!   head-sampling rate). `trace_report` assembles the lines into causal
+//!   span trees — see DESIGN.md §12;
 //! * `GET <url> ORIGIN/1.0` — proxy → origin server fetch.
 //!
 //! Requests initiated on behalf of a client fetch additionally carry a
@@ -37,6 +42,15 @@
 //! forwarded by the proxy on `PEERGET`/`PUSH` and on the origin `GET`), so
 //! one request can be followed through every component's flight-recorder
 //! events.
+//!
+//! Head-sampled traces (a deterministic 1-in-N of trace ids, see
+//! `baps_obs::span::sampled`) additionally carry a `Span-Id: <16 hex
+//! digits>` header naming the **sender's hop span**: the client's root
+//! span on `GET`, the proxy's probe/push/fetch hop spans on
+//! `PEERGET`/`PUSH`/origin `GET`, and the pushing peer's serve span on
+//! `DELIVER`. The receiver records its own spans with that id as the
+//! parent, so span trees stitch across processes without any coordination
+//! beyond the header.
 //!
 //! Responses: `BAPS/1.0 <code> <reason>` with `Content-Length`, `X-Source`
 //! (`proxy` | `peer` | `origin`) and `X-Watermark` (hex, §6.1) headers.

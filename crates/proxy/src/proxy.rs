@@ -15,14 +15,19 @@
 
 use crate::disk::{DiskConfig, DiskStats, DiskTier};
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
-use crate::pool::{dial_with_deadline, ConnRegistry, WorkerPool, DEFAULT_BACKLOG, DEFAULT_WORKERS};
+use crate::pool::{
+    dial_with_deadline, ConnRegistry, PoolTelemetry, SaturationSnapshot, WorkerPool,
+    DEFAULT_BACKLOG, DEFAULT_WORKERS,
+};
 use crate::protocol::{
     read_message, response, response_code, status, write_message, Body, Message,
 };
 use crate::shard::{auto_shards, ShardedCache, StripedIndex, DEFAULT_INDEX_SHARDS};
 use crate::store::CachedDoc;
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
-use baps_obs::{EventKind, FlightRecorder, LabeledHistograms, Tier, TraceId, TIER_NAMES};
+use baps_obs::{
+    span, EventKind, FlightRecorder, LabeledHistograms, SpanId, Tier, TraceId, TIER_NAMES,
+};
 use baps_trace::{ClientId, DocId, Interner};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -249,8 +254,15 @@ impl ProxyStats {
 const SLOW_SHARD_WAIT: Duration = Duration::from_micros(100);
 
 /// Label set for the proxy's per-verb latency histograms.
-pub(crate) const PROXY_VERBS: [&str; 6] =
-    ["GET", "INVALIDATE", "REGISTER", "STATS", "METRICS", "other"];
+pub(crate) const PROXY_VERBS: [&str; 7] = [
+    "GET",
+    "INVALIDATE",
+    "REGISTER",
+    "STATS",
+    "METRICS",
+    "TRACE",
+    "other",
+];
 
 /// Position of a request's first token in [`PROXY_VERBS`].
 pub(crate) fn verb_index(verb: Option<&&str>) -> usize {
@@ -260,7 +272,8 @@ pub(crate) fn verb_index(verb: Option<&&str>) -> usize {
         Some(&"REGISTER") => 2,
         Some(&"STATS") => 3,
         Some(&"METRICS") => 4,
-        _ => 5,
+        Some(&"TRACE") => 5,
+        _ => 6,
     }
 }
 
@@ -297,6 +310,10 @@ pub(crate) struct ProxyState {
     pub(crate) disk: Option<DiskTier>,
     /// Idle keep-alive connections to the origin, reused across fetches.
     origin_pool: Mutex<Vec<OriginConn>>,
+    /// Worker-pool saturation telemetry (shared with the pool itself), so
+    /// STATS/METRICS can report queue depth, busy workers, and
+    /// time-in-queue without reaching into the acceptor thread.
+    pub(crate) telemetry: Arc<PoolTelemetry>,
     /// Per-document in-flight miss registry (thundering-herd coalescing):
     /// the first miss for a doc becomes the leader and fetches; concurrent
     /// misses park on the entry's condvar and share the leader's outcome.
@@ -310,6 +327,13 @@ impl ProxyState {
     /// [`ProxyStats::offset_by`]).
     pub(crate) fn stats(&self) -> ProxyStats {
         self.counters.snapshot().offset_by(&self.baseline)
+    }
+
+    /// In-flight coalescing entries open right now (flight-registry
+    /// occupancy). Nonzero under load means misses are actively sharing
+    /// leaders; a stuck high value means leaders aren't finishing.
+    pub(crate) fn inflight_occupancy(&self) -> usize {
+        self.inflight.lock().len()
     }
 }
 
@@ -367,6 +391,7 @@ impl ProxyServer {
             .as_ref()
             .map(|d| load_baseline(d.root()))
             .unwrap_or_default();
+        let telemetry = Arc::new(PoolTelemetry::new());
         let state = Arc::new(ProxyState {
             cache: ShardedCache::new(config.cache_capacity, auto_shards(config.cache_capacity)),
             index: StripedIndex::new(DEFAULT_INDEX_SHARDS),
@@ -384,13 +409,20 @@ impl ProxyServer {
             },
             disk,
             origin_pool: Mutex::new(Vec::new()),
+            telemetry: Arc::clone(&telemetry),
             inflight: Mutex::new(HashMap::new()),
         });
         let pool = {
             let state = Arc::clone(&state);
-            WorkerPool::start("baps-proxy-worker", workers, backlog, move |stream| {
-                let _ = serve_connection(stream, &state);
-            })?
+            WorkerPool::start_with(
+                "baps-proxy-worker",
+                workers,
+                backlog,
+                telemetry,
+                move |stream, queue_wait| {
+                    let _ = serve_connection(stream, queue_wait, &state);
+                },
+            )?
         };
         let registry = Arc::clone(pool.registry());
         let handle = {
@@ -509,6 +541,25 @@ impl ProxyServer {
         self.registry.open_connections()
     }
 
+    /// Runtime-saturation snapshot of the worker pool: configured workers,
+    /// accept-backlog depth (current and peak), busy workers (current and
+    /// peak), rejected connections, and the time-in-queue histogram.
+    pub fn saturation(&self) -> SaturationSnapshot {
+        self.state.telemetry.snapshot()
+    }
+
+    /// Entries currently in the in-flight miss registry (thundering-herd
+    /// coalescing flights open right now).
+    pub fn flight_occupancy(&self) -> usize {
+        self.state.inflight.lock().len()
+    }
+
+    /// The causal-trace span dump the `TRACE BAPS/1.0` verb serves,
+    /// rendered directly (test/ops hook — no connection needed).
+    pub fn trace_spans(&self) -> String {
+        self.state.obs.recorder.dump_spans()
+    }
+
     /// Ops/test hook: abruptly severs every open client connection (and
     /// discards pooled origin connections) without stopping the server.
     /// Keep-alive clients observe EOF mid-session and must reconnect.
@@ -614,10 +665,15 @@ fn load_baseline(root: &std::path::Path) -> ProxyStats {
     s
 }
 
-fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, queue_wait: Duration, state: &ProxyState) -> io::Result<()> {
     let peer_ip = stream.peer_addr()?.ip();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    // The accept-backlog wait is attributed to this connection's first
+    // *sampled* request: under thread-per-connection only the first
+    // request ever waited in the backlog, and an unsampled trace carries
+    // no span tree to attach it to (the histogram still counts it).
+    let mut queue_wait = Some(queue_wait);
     while let Some(msg) = read_message(&mut reader)? {
         // One proxy-site fault decision per client-facing GET. The
         // administrative verbs (REGISTER, INVALIDATE, STATS) stay honest
@@ -632,7 +688,7 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
             return Ok(());
         }
         let t_verb = Instant::now();
-        let reply = dispatch(&msg, peer_ip, state);
+        let reply = dispatch(&msg, peer_ip, &mut queue_wait, state);
         state
             .obs
             .verbs
@@ -652,13 +708,36 @@ fn serve_connection(stream: TcpStream, state: &ProxyState) -> io::Result<()> {
     Ok(())
 }
 
-fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Option<Message> {
+fn dispatch(
+    msg: &Message,
+    peer_ip: std::net::IpAddr,
+    queue_wait: &mut Option<Duration>,
+    state: &ProxyState,
+) -> Option<Message> {
     // The client mints a trace id per logical fetch and stamps every hop;
-    // administrative verbs and legacy clients simply have none.
+    // administrative verbs and legacy clients simply have none. For
+    // head-sampled traces the `Span-Id` header carries the upstream span
+    // every proxy-side span of this request attaches to.
     let trace = msg
         .get("Trace-Id")
         .and_then(|h| h.parse().ok())
         .unwrap_or(TraceId::NONE);
+    let parent = msg
+        .get("Span-Id")
+        .and_then(|h| h.parse().ok())
+        .unwrap_or(SpanId::NONE);
+    if span::sampled(trace) {
+        if let Some(wait) = queue_wait.take() {
+            state.obs.recorder.record_span(
+                trace,
+                SpanId::mint(),
+                parent,
+                EventKind::QueueWait,
+                wait,
+                "queue=accept-backlog",
+            );
+        }
+    }
     match msg.tokens().as_slice() {
         ["GET", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
@@ -670,7 +749,7 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
                 }
             }
             let bypass = msg.get("Bypass-Peers").is_some();
-            Some(handle_get(url, client, bypass, trace, state))
+            Some(handle_get(url, client, bypass, trace, parent, state))
         }
         ["INVALIDATE", url, "BAPS/1.0"] => {
             let client: u32 = msg.get("Client")?.parse().ok()?;
@@ -693,6 +772,15 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
             Some(response(status::OK, "OK"))
         }
         ["STATS", "BAPS/1.0"] => Some(stats_response(state)),
+        ["TRACE", "BAPS/1.0"] => {
+            let body = state.obs.recorder.dump_spans();
+            Some(
+                response(status::OK, "OK")
+                    .header("Content-Type", "application/jsonl")
+                    .header("Sample-One-In", span::SAMPLE_ONE_IN.to_string())
+                    .with_body(body.into_bytes()),
+            )
+        }
         ["METRICS", "BAPS/1.0"] => {
             let text = crate::metrics::render(state);
             Some(
@@ -703,6 +791,31 @@ fn dispatch(msg: &Message, peer_ip: std::net::IpAddr, state: &ProxyState) -> Opt
         }
         _ => Some(response(status::BAD_REQUEST, "Bad Request")),
     }
+}
+
+/// Mints a span id for one proxy-side hop of a head-sampled trace
+/// ([`SpanId::NONE`] otherwise). The id is minted *before* the hop runs so
+/// outbound wire messages (PEERGET/PUSH/origin GET) can carry it in their
+/// `Span-Id` header — the downstream hop's spans then attach under it.
+fn hop_span(trace: TraceId) -> SpanId {
+    span::hop(trace)
+}
+
+/// Records one hop into the proxy's recorder: as a causal span (under
+/// `parent`) when `span` was minted, as a legacy plain event otherwise.
+fn record_hop(
+    state: &ProxyState,
+    trace: TraceId,
+    span: SpanId,
+    parent: SpanId,
+    kind: EventKind,
+    dur: Duration,
+    detail: impl Into<String>,
+) {
+    state
+        .obs
+        .recorder
+        .record_hop(trace, span, parent, kind, dur, detail);
 }
 
 /// Interns `url`, taking only the shared read lock on the steady-state
@@ -720,6 +833,7 @@ fn handle_get(
     client: u32,
     bypass_peers: bool,
     trace: TraceId,
+    parent: SpanId,
     state: &ProxyState,
 ) -> Message {
     let t_request = Instant::now();
@@ -735,11 +849,16 @@ fn handle_get(
     // Fast cache hits are the hot path (tens of thousands per second, all
     // identical); a ring event for each would be pure overhead with no
     // diagnostic value. Record the span only when it says something — a
-    // miss (the request is about to leave the fast path) or a slow lock
-    // acquisition (shard contention, the thing this span exists to show).
-    if cached.is_none() || shard_wait > SLOW_SHARD_WAIT {
-        state.obs.recorder.record(
+    // miss (the request is about to leave the fast path), a slow lock
+    // acquisition (shard contention, the thing this span exists to show),
+    // or a head-sampled trace (whose tree must be complete).
+    let sampled = span::sampled(trace);
+    if sampled || cached.is_none() || shard_wait > SLOW_SHARD_WAIT {
+        record_hop(
+            state,
             trace,
+            hop_span(trace),
+            parent,
             EventKind::WaitForShard,
             shard_wait,
             if cached.is_some() {
@@ -783,6 +902,7 @@ fn handle_get(
                     client,
                     bypass_peers,
                     trace,
+                    parent,
                     state,
                     doc,
                     requester,
@@ -806,8 +926,11 @@ fn handle_get(
                             .fetch_add(1, Ordering::Relaxed);
                         state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
                         state.index.on_store(requester, doc);
-                        state.obs.recorder.record(
+                        record_hop(
+                            state,
                             trace,
+                            hop_span(trace),
+                            parent,
                             EventKind::Coalesced,
                             t_wait.elapsed(),
                             format!("url={url} outcome=ok"),
@@ -827,8 +950,11 @@ fn handle_get(
                             .coalesced_fetches
                             .fetch_add(1, Ordering::Relaxed);
                         state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        state.obs.recorder.record(
+                        record_hop(
+                            state,
                             trace,
+                            hop_span(trace),
+                            parent,
                             EventKind::Coalesced,
                             t_wait.elapsed(),
                             format!("url={url} outcome=err code={code}"),
@@ -858,6 +984,7 @@ fn handle_get(
                                 client,
                                 bypass_peers,
                                 trace,
+                                parent,
                                 state,
                                 doc,
                                 requester,
@@ -985,6 +1112,7 @@ fn handle_miss(
     client: u32,
     bypass_peers: bool,
     trace: TraceId,
+    parent: SpanId,
     state: &ProxyState,
     doc: DocId,
     requester: ClientId,
@@ -998,8 +1126,11 @@ fn handle_miss(
     if let Some(disk) = &state.disk {
         let t_disk = Instant::now();
         let hit = disk.load(url);
-        state.obs.recorder.record(
+        record_hop(
+            state,
             trace,
+            hop_span(trace),
+            parent,
             EventKind::DiskRead,
             t_disk.elapsed(),
             format!(
@@ -1021,10 +1152,14 @@ fn handle_miss(
             }
             // TTL expired: ask the origin whether our copy is still
             // current before serving it.
+            let reval_span = hop_span(trace);
             let t_reval = Instant::now();
-            let outcome = revalidate_with_origin(state, url, &hit.digest_hex, trace);
-            state.obs.recorder.record(
+            let outcome = revalidate_with_origin(state, url, &hit.digest_hex, trace, reval_span);
+            record_hop(
+                state,
                 trace,
+                reval_span,
+                parent,
                 EventKind::OriginFetch,
                 t_reval.elapsed(),
                 format!(
@@ -1080,10 +1215,14 @@ fn handle_miss(
         for peer in candidates.into_iter().take(MAX_PEER_PROBES) {
             probed_peers = true;
             if state.config.direct_forward {
+                let push_span = hop_span(trace);
                 let t_push = Instant::now();
-                let pushed = order_direct_push(state, PeerId(client), peer, url, trace);
-                state.obs.recorder.record(
+                let pushed = order_direct_push(state, PeerId(client), peer, url, trace, push_span);
+                record_hop(
+                    state,
                     trace,
+                    push_span,
+                    parent,
                     EventKind::PushOrder,
                     t_push.elapsed(),
                     format!(
@@ -1117,10 +1256,14 @@ fn handle_miss(
                 }
                 continue;
             }
+            let probe_span = hop_span(trace);
             let t_probe = Instant::now();
-            let probed = fetch_from_peer(state, PeerId(client), peer, url, trace);
-            state.obs.recorder.record(
+            let probed = fetch_from_peer(state, PeerId(client), peer, url, trace, probe_span);
+            record_hop(
+                state,
                 trace,
+                probe_span,
+                parent,
                 EventKind::PeerProbe,
                 t_probe.elapsed(),
                 format!(
@@ -1161,10 +1304,14 @@ fn handle_miss(
             .peer_fallbacks
             .fetch_add(1, Ordering::Relaxed);
     }
+    let origin_span = hop_span(trace);
     let t_origin = Instant::now();
-    let fetched = fetch_from_origin(state, url, trace);
-    state.obs.recorder.record(
+    let fetched = fetch_from_origin(state, url, trace, origin_span);
+    record_hop(
+        state,
         trace,
+        origin_span,
+        parent,
         EventKind::OriginFetch,
         t_origin.elapsed(),
         format!(
@@ -1315,8 +1462,17 @@ fn handle_invalidate(url: &str, client: u32, trace: TraceId, state: &ProxyState)
 fn stats_response(state: &ProxyState) -> Message {
     let s = state.stats();
     let disk = state.disk.as_ref().map(DiskTier::stats).unwrap_or_default();
+    let sat = state.telemetry.snapshot();
     response(status::OK, "OK")
         .header("Requests", s.requests.to_string())
+        .header("Recorder-Dropped", state.obs.recorder.dropped().to_string())
+        .header("Workers", sat.workers.to_string())
+        .header("Busy-Workers", sat.busy_workers.to_string())
+        .header("Busy-Workers-Peak", sat.busy_workers_peak.to_string())
+        .header("Queue-Depth", sat.queue_depth.to_string())
+        .header("Queue-Depth-Peak", sat.queue_depth_peak.to_string())
+        .header("Queue-Rejected", sat.rejected.to_string())
+        .header("Flight-Occupancy", state.inflight.lock().len().to_string())
         .header("Proxy-Hits", s.proxy_hits.to_string())
         .header("Disk-Hits", s.disk_hits.to_string())
         .header("Disk-Revalidations", s.disk_revalidations.to_string())
@@ -1384,6 +1540,7 @@ fn fetch_from_peer(
     peer: ClientId,
     url: &str,
     trace: TraceId,
+    span: SpanId,
 ) -> Result<CachedDoc, io::Error> {
     let addr = state
         .peers
@@ -1394,7 +1551,7 @@ fn fetch_from_peer(
     let mut attempts_left = state.config.peer_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        match probe_peer_once(state, requester, addr, url, trace) {
+        match probe_peer_once(state, requester, addr, url, trace, span) {
             Err(e) if e.kind() != io::ErrorKind::NotFound && attempts_left > 0 => {
                 attempts_left -= 1;
                 std::thread::sleep(backoff);
@@ -1412,18 +1569,22 @@ fn probe_peer_once(
     addr: SocketAddr,
     url: &str,
     trace: TraceId,
+    span: SpanId,
 ) -> Result<CachedDoc, io::Error> {
     let order = state.relay.lock().begin(requester, url);
     let result = (|| -> io::Result<CachedDoc> {
         let stream = dial_with_deadline(addr, state.config.peer_deadline())?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
-        write_message(
-            &mut writer,
-            &Message::new(format!("PEERGET {url} BAPS/1.0"))
-                .header("Txn", order.txn.0.to_string())
-                .header("Trace-Id", trace.to_string()),
-        )?;
+        let mut probe = Message::new(format!("PEERGET {url} BAPS/1.0"))
+            .header("Txn", order.txn.0.to_string())
+            .header("Trace-Id", trace.to_string());
+        if !span.is_none() {
+            // The probe's own hop span becomes the parent of the peer's
+            // serve span, stitching the tree across processes.
+            probe = probe.header("Span-Id", span.to_string());
+        }
+        write_message(&mut writer, &probe)?;
         let reply = read_message(&mut reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
         if response_code(&reply) != Some(status::OK) {
@@ -1465,6 +1626,7 @@ fn order_direct_push(
     peer: ClientId,
     url: &str,
     trace: TraceId,
+    span: SpanId,
 ) -> Result<u64, io::Error> {
     let peer_addr = state
         .peers
@@ -1483,13 +1645,14 @@ fn order_direct_push(
         let stream = dial_with_deadline(peer_addr, state.config.peer_deadline())?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
-        write_message(
-            &mut writer,
-            &Message::new(format!("PUSH {url} BAPS/1.0"))
-                .header("Txn", order.txn.0.to_string())
-                .header("Target", target_addr.to_string())
-                .header("Trace-Id", trace.to_string()),
-        )?;
+        let mut push = Message::new(format!("PUSH {url} BAPS/1.0"))
+            .header("Txn", order.txn.0.to_string())
+            .header("Target", target_addr.to_string())
+            .header("Trace-Id", trace.to_string());
+        if !span.is_none() {
+            push = push.header("Span-Id", span.to_string());
+        }
+        write_message(&mut writer, &push)?;
         let reply = read_message(&mut reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
         if response_code(&reply) != Some(status::OK) {
@@ -1534,10 +1697,15 @@ fn origin_request(
     conn: &mut OriginConn,
     url: &str,
     trace: TraceId,
+    span: SpanId,
     if_digest: Option<&str>,
 ) -> io::Result<Message> {
     let mut msg =
         Message::new(format!("GET {url} ORIGIN/1.0")).header("Trace-Id", trace.to_string());
+    if !span.is_none() {
+        // The proxy's origin-fetch span parents the origin's serve span.
+        msg = msg.header("Span-Id", span.to_string());
+    }
     if let Some(digest) = if_digest {
         // Conditional fetch: the origin answers 304 if the digest still
         // matches, saving the body transfer.
@@ -1559,6 +1727,7 @@ fn origin_attempt(
     state: &ProxyState,
     url: &str,
     trace: TraceId,
+    span: SpanId,
     if_digest: Option<&str>,
 ) -> io::Result<Message> {
     let pooled = state.origin_pool.lock().pop();
@@ -1567,11 +1736,11 @@ fn origin_attempt(
         Some(conn) => conn,
         None => origin_dial(state)?,
     };
-    let reply = match origin_request(&mut conn, url, trace, if_digest) {
+    let reply = match origin_request(&mut conn, url, trace, span, if_digest) {
         Ok(reply) => reply,
         Err(_) if reused => {
             conn = origin_dial(state)?;
-            origin_request(&mut conn, url, trace, if_digest)?
+            origin_request(&mut conn, url, trace, span, if_digest)?
         }
         Err(e) => return Err(e),
     };
@@ -1593,11 +1762,16 @@ fn origin_attempt(
 /// Fetches `url` from the origin with bounded retries: transport failures
 /// and 5xx replies are retried up to `origin_retries` extra times with
 /// backoff; 200 and 404 are authoritative.
-fn fetch_from_origin(state: &ProxyState, url: &str, trace: TraceId) -> Result<Body, OriginError> {
+fn fetch_from_origin(
+    state: &ProxyState,
+    url: &str,
+    trace: TraceId,
+    span: SpanId,
+) -> Result<Body, OriginError> {
     let mut attempts_left = state.config.origin_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        let failure = match origin_attempt(state, url, trace, None) {
+        let failure = match origin_attempt(state, url, trace, span, None) {
             Ok(reply) => match response_code(&reply) {
                 Some(status::OK) => return Ok(reply.body),
                 Some(status::NOT_FOUND) => return Err(OriginError::NotFound),
@@ -1636,11 +1810,12 @@ fn revalidate_with_origin(
     url: &str,
     digest_hex: &str,
     trace: TraceId,
+    span: SpanId,
 ) -> Revalidation {
     let mut attempts_left = state.config.origin_retries;
     let mut backoff = RETRY_BACKOFF;
     loop {
-        if let Ok(reply) = origin_attempt(state, url, trace, Some(digest_hex)) {
+        if let Ok(reply) = origin_attempt(state, url, trace, span, Some(digest_hex)) {
             match response_code(&reply) {
                 Some(status::OK) => return Revalidation::Changed(reply.body),
                 Some(status::NOT_MODIFIED) => return Revalidation::NotModified,

@@ -932,3 +932,181 @@ fn eviction_notices_survive_reconnect_and_apply_once() {
     );
     bed.shutdown();
 }
+
+/// Tentpole: a head-sampled GET leaves spans in *three* processes —
+/// client root, proxy hops, and the far side (origin's serve span, or a
+/// peer's serve span) — and `span::assemble` stitches each sampled trace
+/// into exactly ONE tree via the `Span-Id` parent links.
+#[test]
+fn sampled_fetch_assembles_one_tree_across_processes() {
+    use baps_obs::span;
+    use baps_proxy::response_code;
+
+    // Tiny proxy cache (peer hits need eviction) over a corpus big
+    // enough that every round touches fresh documents.
+    let store = DocumentStore::synthetic(512, 200, 2_000, 42);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: 3,
+            proxy_capacity: 2_500,
+            browser_capacity: 64 << 10,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+
+    // Each round: an origin-served fetch, an eviction flood, then a
+    // peer-served fetch. Head sampling keeps 1 trace in SAMPLE_ONE_IN
+    // (a deterministic hash of the trace id), so rounds continue until
+    // the dump holds a complete tree of each shape. Deterministic: with
+    // 1-in-32 sampling, client 1's single fetch per round (seq = round)
+    // first samples at round 46, and client 2's flood samples nearby
+    // rounds, so 60 rounds always suffice and the two shapes land well
+    // inside one ring's worth of history.
+    let full = |trees: &[baps_obs::SpanTree], far_kind: &str, mid_kind: &str| -> bool {
+        trees.iter().any(|t| {
+            t.root.record.kind == "fetch"
+                && t.root.contains_kind(mid_kind)
+                && t.root.contains_kind(far_kind)
+        })
+    };
+    let mut text = String::new();
+    for round in 0..60u32 {
+        let url0 = format!("http://origin/doc/{}", round * 8);
+        bed.clients[0].fetch(&url0).unwrap();
+        for i in 1..8 {
+            bed.clients[2]
+                .fetch(&format!("http://origin/doc/{}", round * 8 + i))
+                .unwrap();
+        }
+        let r = bed.clients[1].fetch(&url0).unwrap();
+        assert_eq!(r.source, Source::Peer, "round {round} must peer-hit");
+
+        // The test bed shares one flight recorder across origin, proxy,
+        // and clients, so the proxy's TRACE dump holds all three sides.
+        let reply = bed.clients[0].proxy_trace_raw().unwrap();
+        assert_eq!(response_code(&reply), Some(200));
+        assert_eq!(reply.get("Content-Type"), Some("application/jsonl"));
+        assert_eq!(
+            reply.get("Sample-One-In"),
+            Some(span::SAMPLE_ONE_IN.to_string().as_str())
+        );
+        text = String::from_utf8(reply.body.to_vec()).unwrap();
+        let records = span::parse_jsonl(&text).expect("TRACE dump parses");
+        let trees = span::assemble(&records);
+        if full(&trees, "origin-serve", "origin-fetch") && full(&trees, "peer-serve", "peer-probe")
+        {
+            break;
+        }
+    }
+
+    let records = span::parse_jsonl(&text).expect("TRACE dump parses");
+    assert!(!records.is_empty(), "no spans sampled");
+    let trees = span::assemble(&records);
+    let find = |far_kind: &str, mid_kind: &str| -> &baps_obs::SpanTree {
+        trees
+            .iter()
+            .find(|t| {
+                t.root.record.kind == "fetch"
+                    && t.root.contains_kind(mid_kind)
+                    && t.root.contains_kind(far_kind)
+            })
+            .unwrap_or_else(|| panic!("no fetch tree reaching {far_kind} via {mid_kind}"))
+    };
+
+    // Origin path: client fetch -> proxy origin-fetch -> origin serve.
+    let origin_tree = find("origin-serve", "origin-fetch");
+    // Peer path: client fetch -> proxy peer-probe -> holder peer-serve.
+    let peer_tree = find("peer-serve", "peer-probe");
+
+    for tree in [origin_tree, peer_tree] {
+        assert!(tree.root.max_depth() >= 2, "tree too shallow: {tree:#?}");
+        // Single tree per sampled trace: every span of this trace landed
+        // in this one tree (nothing orphaned into a second root).
+        assert_eq!(
+            trees.iter().filter(|t| t.trace == tree.trace).count(),
+            1,
+            "trace {} fragmented into multiple trees",
+            tree.trace
+        );
+        let in_tree = tree.root.records().len();
+        let in_dump = records.iter().filter(|r| r.trace == tree.trace).count();
+        assert_eq!(in_tree, in_dump, "tree must hold all of its trace's spans");
+    }
+    bed.shutdown();
+}
+
+/// Satellite: the wire `METRICS` exposition passes the parser-backed
+/// Prometheus conformance check (HELP/TYPE before samples, no duplicate
+/// series, histogram invariants: cumulative buckets, +Inf == _count).
+#[test]
+fn metrics_exposition_conforms() {
+    use baps_obs::prom;
+
+    let bed = bed(2, 64 << 10, 32 << 10);
+    for i in 0..6 {
+        bed.clients[0]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+        bed.clients[1]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+    let reply = bed.clients[0].proxy_metrics_raw().unwrap();
+    let text = String::from_utf8(reply.body.to_vec()).unwrap();
+    prom::check_conformance(&text).unwrap_or_else(|e| panic!("exposition violates format: {e}"));
+
+    // The new saturation families are part of the scrape.
+    let samples = prom::parse(&text).unwrap();
+    for name in [
+        "baps_workers",
+        "baps_workers_busy",
+        "baps_queue_depth",
+        "baps_queue_rejected_total",
+        "baps_queue_wait_ms_count",
+        "baps_flight_registry_occupancy",
+    ] {
+        assert!(
+            prom::find(&samples, name, &[]).is_some(),
+            "exposition is missing {name}"
+        );
+    }
+    assert!(prom::find(&samples, "baps_workers", &[]).unwrap() > 0.0);
+    assert!(prom::find(&samples, "baps_queue_wait_ms_count", &[]).unwrap() >= 1.0);
+    bed.shutdown();
+}
+
+/// Satellite: `STATS` exposes the recorder drop counter and the
+/// runtime-saturation gauges as headers.
+#[test]
+fn stats_reports_recorder_drops_and_saturation() {
+    let bed = bed(2, 64 << 10, 32 << 10);
+    for i in 0..4 {
+        bed.clients[0]
+            .fetch(&format!("http://origin/doc/{i}"))
+            .unwrap();
+    }
+    let reply = bed.clients[1].proxy_stats_raw().unwrap();
+    for header in [
+        "Recorder-Dropped",
+        "Workers",
+        "Busy-Workers",
+        "Busy-Workers-Peak",
+        "Queue-Depth",
+        "Queue-Depth-Peak",
+        "Queue-Rejected",
+        "Flight-Occupancy",
+    ] {
+        let value = reply
+            .get(header)
+            .unwrap_or_else(|| panic!("STATS reply is missing {header}"));
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("STATS {header}={value:?} is not a number: {e}"));
+    }
+    assert!(reply.get("Workers").unwrap().parse::<u64>().unwrap() > 0);
+    assert_eq!(reply.get("Recorder-Dropped"), Some("0"));
+    assert_eq!(reply.get("Queue-Rejected"), Some("0"));
+    bed.shutdown();
+}

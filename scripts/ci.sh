@@ -57,6 +57,15 @@ echo "== metrics smoke (METRICS exposition + recording-overhead gate)"
 # reading) and fails the build if always-on recording costs >3%.
 cargo run --release -q -p baps-bench --bin live_load -- --smoke 8000 64
 
+echo "== trace smoke (multi-hop span-tree reconstruction gate)"
+# Builds a live deployment, forces peer and origin hits, scrapes the
+# TRACE verb, and reassembles the sampled spans: at least one complete
+# multi-hop tree (client fetch root over proxy spans over an
+# origin-serve, and one over a peer-serve) must come back, or span
+# propagation / sampling coherence has broken.
+cargo run --release -q -p baps-bench --bin trace_report -- \
+    --live --require-multihop
+
 echo "== live_load thread-scaling sweep (non-gating perf smoke)"
 # Scaled-down sweep to catch serialization collapses (a global lock or an
 # undersized downstream pool shows up as a multiple, not a percentage).
