@@ -28,8 +28,12 @@
 //! (busy-worker peak, accept-backlog depth, time-in-queue p50/p99) as the
 //! `saturation` block, and one dedicated instrumented point is scraped
 //! via `TRACE BAPS/1.0` and assembled into per-kind critical-path
-//! attribution as the `critical_path` block. See the README for how to
-//! read the file.
+//! attribution as the `critical_path` block. The sweep also walks the
+//! connection-count axis — 100/1k/10k idle registered connections held
+//! open (by a helper child process, so each side of the socket pair gets
+//! its own fd table) while 16 active clients drive traffic, in both
+//! `io_mode=threads` and `io_mode=reactor` — and records it as the
+//! `connections` block. See the README for how to read the file.
 //!
 //! `--metrics` additionally scrapes the proxy's `METRICS BAPS/1.0`
 //! exposition over the wire after the keep-alive run, checks that it
@@ -50,7 +54,10 @@
 use baps_bench::critical_path;
 use baps_bench::scenario::{bed_config, flash_crowd_herd, scenario_corpus, url_of};
 use baps_obs::{prom, span, LatencyHistogram};
-use baps_proxy::{DocumentStore, SaturationSnapshot, TestBed, TestBedConfig};
+use baps_proxy::{
+    read_message, response_code, write_message, DocumentStore, IoMode, Message, SaturationSnapshot,
+    TestBed, TestBedConfig,
+};
 use baps_trace::{DocId, Scenario, ScenarioOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -347,9 +354,10 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         );
     }
 
-    let overhead = measure_overhead(n_docs);
+    let (overhead, overhead_measurements) = measure_overhead_gated(n_docs);
     let disk = measure_disk_tier(total, n_docs);
     let scenarios = measure_scenarios(total, n_docs);
+    let connections = measure_connections(total, n_docs);
 
     // Critical-path attribution: one dedicated instrumented point whose
     // TRACE dump is assembled into span trees and aggregated per kind.
@@ -452,6 +460,30 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
         json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"connections\": [\n");
+    for (i, p) in connections.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"io_mode\": \"{}\", \"idle_conns\": {}, \"active_clients\": {CONN_ACTIVE}, \
+             \"serving_threads\": {}, \"loops\": {}, \"registered_fds_peak\": {}, \
+             \"req_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+            p.mode.name(),
+            p.idle,
+            p.serving_threads,
+            p.loops,
+            p.registered_fds_peak,
+            p.req_per_sec,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+        );
+        json.push_str(if i + 1 < connections.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"disk_tier\": {\n");
     let _ = writeln!(json, "    \"workers\": {OVERHEAD_WORKERS},");
     let _ = writeln!(json, "    \"req_per_sec\": {:.1},", disk.req_per_sec);
@@ -479,8 +511,10 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     let _ = writeln!(json, "    \"paired_slices\": {OVERHEAD_PAIRS},");
     let _ = writeln!(
         json,
-        "    \"estimator\": \"trimmed mean of per-round paired deltas\","
+        "    \"estimator\": \"trimmed mean of per-round paired deltas; \
+         median of 3 measurements when the first lands over budget\","
     );
+    let _ = writeln!(json, "    \"measurements\": {overhead_measurements},");
     let _ = writeln!(
         json,
         "    \"recording_on_req_per_sec\": {:.1},",
@@ -602,16 +636,22 @@ fn measure_overhead(n_docs: usize) -> Overhead {
     );
     let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
     // The disk tier is configured so its bookkeeping is live, but the
-    // memory cache holds the whole corpus: the A/B prices always-on
-    // recording (plus disk bookkeeping) on the in-memory hot path, not
-    // disk I/O.
+    // memory cache is sized to hold the whole corpus and fully warmed
+    // before the first measured slice: the A/B prices always-on recording
+    // (plus disk bookkeeping) on the in-memory hot path, not disk I/O.
+    // Miss traffic would not just add noise, it would change what is
+    // being measured — a memory miss records a flight-recorder event by
+    // design, a cost that rides requests already paying for disk or
+    // origin I/O, so pricing it against a 14 µs loopback hit would gate
+    // the wrong thing.
+    let corpus_bytes = (n_docs as u64) * 2048;
     let disk_root = std::env::temp_dir().join(format!("baps_live_overhead_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&disk_root);
     let bed = TestBed::start(
         store,
         TestBedConfig {
             n_clients: OVERHEAD_WORKERS,
-            proxy_capacity: 256 << 10,
+            proxy_capacity: corpus_bytes + (64 << 10),
             browser_capacity: 4 << 10,
             disk_root: Some(disk_root.clone()),
             ..TestBedConfig::default()
@@ -621,7 +661,14 @@ fn measure_overhead(n_docs: usize) -> Overhead {
     for client in &bed.clients {
         client.set_keep_alive(true);
     }
-    // Warmup slices (discarded): caches, allocator arenas, loopback stack.
+    // Touch every doc once so the whole corpus is resident in the proxy's
+    // memory tier — uniform random slices alone would leave a long miss
+    // tail bleeding into the measured pairs.
+    for doc in 0..n_docs {
+        let url = format!("http://origin/doc/{doc}");
+        bed.clients[0].fetch(&url).expect("warmup fetch succeeds");
+    }
+    // Warmup slices (discarded): allocator arenas, loopback stack.
     for slice in 0..4 {
         let _ = run_slice(&bed, n_docs, slice);
     }
@@ -651,6 +698,31 @@ fn measure_overhead(n_docs: usize) -> Overhead {
         overhead.delta_pct(),
     );
     overhead
+}
+
+/// Overhead measurement with the flake guard both the smoke gate and the
+/// sweep's JSON block use: one measurement decides if it lands under the
+/// 3% budget, but a reading over budget triggers two more full
+/// measurements and the **median of the three** is what gets reported
+/// and gated. A single trimmed-mean estimate still loses to a badly
+/// timed scheduler regime shift (a committed 3.66% reading for identical
+/// code motivated this); the median of three independent measurements
+/// does not. Returns the chosen measurement and how many were taken.
+fn measure_overhead_gated(n_docs: usize) -> (Overhead, usize) {
+    let first = measure_overhead(n_docs);
+    if first.delta_pct() < 3.0 {
+        return (first, 1);
+    }
+    println!(
+        "\noverhead {:+.2}% over budget on the first measurement; \
+         taking the median of 3",
+        first.delta_pct()
+    );
+    let mut all = vec![first, measure_overhead(n_docs), measure_overhead(n_docs)];
+    all.sort_by(|a, b| a.delta_pct().total_cmp(&b.delta_pct()));
+    let median = all.swap_remove(1);
+    println!("median of 3 measurements: {:+.2}%", median.delta_pct());
+    (median, 3)
 }
 
 /// Disk-tier point for `BENCH_live.json`.
@@ -880,7 +952,7 @@ fn run_scenario_point(scenario: Scenario, total: u32, n_docs: usize) -> Scenario
     let _ = std::fs::remove_dir_all(&disk_root);
 
     let herd = (scenario == Scenario::FlashCrowd).then(|| {
-        let probe = flash_crowd_herd(seed, SCENARIO_HERD);
+        let probe = flash_crowd_herd(seed, SCENARIO_HERD, IoMode::Threads);
         assert!(probe.violations.is_empty(), "{:?}", probe.violations);
         (probe.herd, probe.origin_fetches, probe.coalesced_fetches)
     });
@@ -913,11 +985,266 @@ fn measure_scenarios(total: u32, n_docs: usize) -> Vec<ScenarioPoint> {
         .collect()
 }
 
+/// Active clients driving traffic at every connection-axis point.
+const CONN_ACTIVE: u32 = 16;
+
+/// Idle-connection counts of the axis (the ROADMAP's 100/1k/10k ladder,
+/// plus the zero baseline both modes share).
+const CONN_IDLE: [usize; 4] = [0, 100, 1_000, 10_000];
+
+/// Idle counts the thread mode is measured at. Beyond this each idle
+/// connection costs a whole parked worker thread (the pool is sized
+/// `active + idle + headroom` so idle connections cannot starve active
+/// ones), which is exactly the scaling wall the reactor removes — the
+/// 1k/10k points exist only in reactor mode.
+const CONN_IDLE_THREADS_MAX: usize = 100;
+
+/// Interleaved measurement rounds per connection-axis point (best kept).
+const CONN_ROUNDS: usize = 3;
+
+/// One point on the connection-count axis.
+struct ConnPoint {
+    mode: IoMode,
+    idle: usize,
+    /// Threads the mode spent serving connections: pool workers in
+    /// thread mode, event loops + miss-executor workers in reactor mode.
+    serving_threads: u64,
+    /// Event loops (reactor mode; 0 in thread mode).
+    loops: u64,
+    /// Peak connections registered with the event loops (reactor mode).
+    registered_fds_peak: u64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+}
+
+impl ConnPoint {
+    fn print(&self) {
+        println!(
+            "{:<8} idle {:>6}  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   \
+             p99.9 {:>7.3} ms   serving threads {:>4}   registered peak {:>6}",
+            self.mode.name(),
+            self.idle,
+            self.req_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.serving_threads,
+            self.registered_fds_peak,
+        );
+    }
+}
+
+/// Child-process entry for `--hold-conns ADDR COUNT BASE`: opens `COUNT`
+/// keep-alive connections to the proxy at `ADDR`, REGISTERs each one
+/// (client ids `BASE..`), reports readiness on stdout, then holds every
+/// connection open until stdin closes. Run as a separate process so the
+/// client side of 10k socket pairs does not share the benchmark's fd
+/// table with the proxy side.
+fn hold_conns(addr: &str, count: usize, base: u64) -> ! {
+    use std::io::{BufRead, BufReader as StdBufReader, Write};
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        let stream = std::net::TcpStream::connect(addr).expect("holder connects");
+        // Read and write through shared borrows of the one socket — a
+        // `try_clone` here would cost a second fd per connection and blow
+        // the child's fd table at the 10k rung.
+        write_message(
+            &mut &stream,
+            &Message::new("REGISTER 1 BAPS/1.0").header("Client", (base + i as u64).to_string()),
+        )
+        .expect("holder REGISTER write");
+        let reply = read_message(&mut std::io::BufReader::new(&stream))
+            .expect("holder REGISTER read")
+            .expect("holder connection open");
+        assert_eq!(response_code(&reply), Some(200), "holder REGISTER refused");
+        held.push(stream);
+    }
+    println!("held {count}");
+    std::io::stdout().flush().expect("holder reports readiness");
+    // Park until the parent drops our stdin; the sockets close with us.
+    let mut line = String::new();
+    let _ = StdBufReader::new(std::io::stdin()).read_line(&mut line);
+    drop(held);
+    std::process::exit(0);
+}
+
+/// Spawns the idle-connection holder child and blocks until it reports
+/// every connection registered. Returns the child; dropping its stdin
+/// (killing it) releases the connections.
+fn spawn_holder(addr: std::net::SocketAddr, count: usize) -> std::process::Child {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--hold-conns")
+        .arg(addr.to_string())
+        .arg(count.to_string())
+        .arg("1000000")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("holder child spawns");
+    let stdout = child.stdout.take().expect("holder stdout piped");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("holder reports readiness");
+    assert_eq!(
+        line.trim(),
+        format!("held {count}"),
+        "holder failed to establish its connections"
+    );
+    child
+}
+
+/// Measures one (io_mode, idle-connection-count) point: a fresh
+/// deployment, `idle` held-open registered connections, then
+/// [`CONN_ACTIVE`] clients driving `total` requests split evenly.
+fn measure_conn_point(mode: IoMode, idle: usize, total: u32, n_docs: usize) -> ConnPoint {
+    let store = DocumentStore::synthetic(n_docs, 256, 2048, 0x5eed);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: CONN_ACTIVE,
+            proxy_capacity: 256 << 10,
+            browser_capacity: 4 << 10,
+            io_mode: mode,
+            // Thread mode can hold an idle connection only by parking a
+            // worker on it, so its pool must grow with the idle count.
+            // Reactor mode keeps the automatic (active-scaled) sizing for
+            // its miss executor regardless of idle connections.
+            proxy_workers: match mode {
+                IoMode::Threads => CONN_ACTIVE as usize + idle + 4,
+                IoMode::Reactor => 0,
+            },
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+    for client in &bed.clients {
+        client.set_keep_alive(true);
+    }
+    let holder = (idle > 0).then(|| spawn_holder(bed.proxy.addr(), idle));
+    if let Some(r) = bed.proxy.reactor_stats() {
+        assert!(
+            r.registered_fds >= idle as u64,
+            "reactor lost idle connections: {} registered, {idle} held",
+            r.registered_fds
+        );
+    }
+
+    let per_client = (total / CONN_ACTIVE).max(1);
+    let t0 = Instant::now();
+    let histos: Vec<LatencyHistogram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bed
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, client)| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xc0a1 ^ i as u64);
+                    let mut histo = LatencyHistogram::new();
+                    for _ in 0..per_client {
+                        let doc = rng.gen_range(0..n_docs);
+                        let url = format!("http://origin/doc/{doc}");
+                        let t = Instant::now();
+                        client.fetch(&url).expect("fetch succeeds under load");
+                        histo.record(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    histo
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut histo = LatencyHistogram::new();
+    for h in &histos {
+        histo.merge(h);
+    }
+    let reactor = bed.proxy.reactor_stats();
+    let saturation = bed.proxy.saturation();
+    let (serving_threads, loops, registered_peak) = match &reactor {
+        // The idle mass must still be registered after the measured
+        // burst: the reactor held 10k connections *while* serving.
+        Some(r) => {
+            assert!(
+                r.registered_fds >= idle as u64,
+                "reactor dropped idle connections under load: {} left of {idle}",
+                r.registered_fds
+            );
+            (r.loops + saturation.workers, r.loops, r.registered_fds_peak)
+        }
+        None => (saturation.workers, 0, 0),
+    };
+    if let Some(mut child) = holder {
+        drop(child.stdin.take()); // EOF releases the held connections
+        let _ = child.wait();
+    }
+    bed.shutdown();
+
+    ConnPoint {
+        mode,
+        idle,
+        serving_threads,
+        loops,
+        registered_fds_peak: registered_peak,
+        req_per_sec: histo.count() as f64 / wall_secs,
+        p50_ms: histo.quantile_ms(0.50),
+        p99_ms: histo.quantile_ms(0.99),
+        p999_ms: histo.quantile_ms(0.999),
+    }
+}
+
+/// Walks the connection-count axis in both io modes ([`CONN_ROUNDS`]
+/// interleaved rounds, best-of per point): does holding 100/1k/10k idle
+/// registered connections degrade the active path, and what does each
+/// mode spend to hold them? Thread mode stops at
+/// [`CONN_IDLE_THREADS_MAX`] (beyond that it pays a parked thread per
+/// connection); the reactor walks the full ladder on its fixed loop +
+/// miss-executor thread budget.
+fn measure_connections(total: u32, n_docs: usize) -> Vec<ConnPoint> {
+    println!(
+        "\nconnection-count axis ({CONN_ACTIVE} active clients, idle ladder {CONN_IDLE:?}, \
+         best of {CONN_ROUNDS} rounds):"
+    );
+    let grid: Vec<(IoMode, usize)> = CONN_IDLE
+        .iter()
+        .filter(|&&idle| idle <= CONN_IDLE_THREADS_MAX)
+        .map(|&idle| (IoMode::Threads, idle))
+        .chain(CONN_IDLE.iter().map(|&idle| (IoMode::Reactor, idle)))
+        .collect();
+    let mut points: Vec<(IoMode, usize, Option<ConnPoint>)> =
+        grid.iter().map(|&(m, i)| (m, i, None)).collect();
+    for _round in 0..CONN_ROUNDS {
+        for (mode, idle, best) in &mut points {
+            let point = measure_conn_point(*mode, *idle, total, n_docs);
+            if best
+                .as_ref()
+                .is_none_or(|b| point.req_per_sec > b.req_per_sec)
+            {
+                *best = Some(point);
+            }
+        }
+    }
+    let points: Vec<ConnPoint> = points
+        .into_iter()
+        .map(|(_, _, p)| p.expect("every point measured"))
+        .collect();
+    for point in &points {
+        point.print();
+    }
+    points
+}
+
 /// CI smoke: scrape `METRICS BAPS/1.0` under load (parse + balance
 /// assertions live in [`summarize_metrics`]), then gate on the recording
 /// overhead staying under 3%. The overhead estimate rides on loopback
-/// scheduler noise, so a first reading over budget earns one re-measure
-/// before the gate fails the build.
+/// scheduler noise, so a first reading over budget triggers two more
+/// measurements and the gate judges the median of the three
+/// ([`measure_overhead_gated`]).
 fn run_smoke(total: u32, n_docs: usize) {
     println!("live_load --smoke: METRICS exposition + recording-overhead gate\n");
     let report = run_mode(
@@ -946,18 +1273,11 @@ fn run_smoke(total: u32, n_docs: usize) {
         span::assemble(&spans).len()
     );
 
-    let mut overhead = measure_overhead(n_docs);
-    if overhead.delta_pct() >= 3.0 {
-        println!(
-            "\noverhead {:+.2}% over budget on the first reading; re-measuring once",
-            overhead.delta_pct()
-        );
-        let second = measure_overhead(n_docs);
-        if second.delta_pct() < overhead.delta_pct() {
-            overhead = second;
-        }
-    }
+    let (overhead, measurements) = measure_overhead_gated(n_docs);
     let delta = overhead.delta_pct();
+    if measurements > 1 {
+        println!("(gated on the median of {measurements} measurements)");
+    }
     if delta >= 3.0 {
         eprintln!("FAIL: observability overhead {delta:+.2}% exceeds the 3% budget");
         std::process::exit(1);
@@ -985,6 +1305,19 @@ fn main() {
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
         match a.as_str() {
+            // Internal re-exec mode used by the connection-count axis.
+            "--hold-conns" => {
+                let addr = raw.next().expect("--hold-conns needs ADDR COUNT BASE");
+                let count = raw
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--hold-conns COUNT");
+                let base = raw
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--hold-conns BASE");
+                hold_conns(&addr, count, base);
+            }
             "--sweep" => sweep = true,
             "--smoke" => smoke = true,
             "--metrics" => metrics = true,

@@ -17,8 +17,12 @@
 //! never — the histograms account for those); and the ring is **striped**:
 //! threads append to per-stripe sub-rings (one shared mutex here measured
 //! ~10% off proxy throughput; striping takes the lock off the cross-thread
-//! hot path). `dump` merges the stripes back into one sequence ordered by
-//! the global event counter.
+//! hot path). A push never *blocks* either: stripe locks are only ever
+//! `try_lock`ed and an event whose every stripe is momentarily held is
+//! shed (and counted) rather than parking the calling worker — a context
+//! switch costs microseconds, the push itself well under one. `dump`
+//! merges the stripes back into one sequence ordered by the global event
+//! counter.
 
 use crate::span::{SpanId, SpanRecord};
 use crate::trace::TraceId;
@@ -188,6 +192,9 @@ pub struct FlightRecorder {
     cap: usize,
     seq: AtomicU64,
     stripes: Vec<Mutex<Ring>>,
+    /// Events shed because every stripe lock was momentarily held (see
+    /// [`push`](Self::push) — the recorder never blocks the hot path).
+    shed: AtomicU64,
 }
 
 impl fmt::Debug for FlightRecorder {
@@ -229,6 +236,7 @@ impl FlightRecorder {
             epoch: Instant::now(),
             cap,
             seq: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             stripes: (0..n_stripes)
                 .map(|_| {
                     Mutex::new(Ring {
@@ -323,12 +331,7 @@ impl FlightRecorder {
         let dur_micros = dur.as_micros() as u64;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let stripe_cap = self.stripe_cap();
-        let mut ring = self.stripes[thread_stripe(self.stripes.len())].lock();
-        if ring.events.len() >= stripe_cap {
-            ring.events.pop_front();
-            ring.dropped += 1;
-        }
-        ring.events.push_back(Event {
+        let event = Event {
             seq,
             at_micros,
             trace,
@@ -337,7 +340,33 @@ impl FlightRecorder {
             span,
             parent,
             detail,
-        });
+        };
+        // Never block the hot path for bookkeeping: try the thread's
+        // preferred stripe, fall through to the others, and shed the
+        // event if every lock is momentarily held. Parking here costs a
+        // context switch — microseconds, ~50x the push itself — and on an
+        // oversubscribed host a scheduler hiccup turns one preempted
+        // holder into a convoy of parked workers; losing an event under
+        // that kind of pressure is the correct trade for a diagnostics
+        // ring.
+        let n = self.stripes.len();
+        let first = thread_stripe(n);
+        let Some(mut ring) = (0..n).find_map(|i| self.stripes[(first + i) % n].try_lock()) else {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // Evict into a local so the displaced event's detail string is
+        // freed after the lock is released, not inside the critical
+        // section.
+        let evicted = if ring.events.len() >= stripe_cap {
+            ring.dropped += 1;
+            ring.events.pop_front()
+        } else {
+            None
+        };
+        ring.events.push_back(event);
+        drop(ring);
+        drop(evicted);
     }
 
     /// Events currently held.
@@ -355,9 +384,11 @@ impl FlightRecorder {
         self.cap
     }
 
-    /// Events dropped because the ring was full.
+    /// Events dropped: displaced because the ring was full, plus events
+    /// shed because every stripe lock was held at push time.
     pub fn dropped(&self) -> u64 {
-        self.stripes.iter().map(|s| s.lock().dropped).sum()
+        self.stripes.iter().map(|s| s.lock().dropped).sum::<u64>()
+            + self.shed.load(Ordering::Relaxed)
     }
 
     /// A copy of the ring, oldest event first (merged across stripes by

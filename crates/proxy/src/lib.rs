@@ -33,9 +33,11 @@ pub mod origin;
 pub mod pool;
 pub mod protocol;
 pub mod proxy;
+mod reactor;
 pub mod runtime;
 pub mod shard;
 pub mod store;
+mod sys;
 
 pub use client::{ClientAgent, ClientConfig, FetchResult, Source, TamperMode};
 pub use disk::{DiskConfig, DiskStats, DiskTier};
@@ -44,7 +46,8 @@ pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
 pub use origin::OriginServer;
 pub use pool::{dial_with_deadline, ConnRegistry, PoolTelemetry, SaturationSnapshot, WorkerPool};
 pub use protocol::{encode_message, read_message, response_code, write_message, Body, Message};
-pub use proxy::{ProxyConfig, ProxyCounters, ProxyServer, ProxyStats};
+pub use proxy::{IoMode, ProxyConfig, ProxyCounters, ProxyServer, ProxyStats};
+pub use reactor::{ReactorSnapshot, ReactorTelemetry};
 pub use runtime::{TestBed, TestBedConfig};
 pub use shard::{auto_shards, ShardedCache, StripedIndex};
 pub use store::{BodyCache, CachedDoc, DocumentStore};

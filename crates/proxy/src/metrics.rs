@@ -270,6 +270,60 @@ pub(crate) fn render(state: &ProxyState) -> String {
     );
     out.histogram("baps_queue_wait_ms", &[], &sat.queue_wait);
 
+    // Reactor saturation (io_mode=reactor only): the event-driven
+    // equivalents of the pool gauges above — registered connections
+    // instead of parked threads, loop busy-fraction instead of busy
+    // workers. In this mode the `baps_workers*`/`baps_queue_*` series
+    // describe the blocking miss executor.
+    if let Some(reactor) = &state.reactor {
+        let r = reactor.snapshot();
+        out.gauge(
+            "baps_reactor_loops",
+            "Event loops serving client connections.",
+            r.loops as f64,
+        );
+        out.gauge(
+            "baps_reactor_registered_fds",
+            "Connections currently registered with the event loops.",
+            r.registered_fds as f64,
+        );
+        out.gauge(
+            "baps_reactor_registered_fds_peak",
+            "Most connections simultaneously registered since start.",
+            r.registered_fds_peak as f64,
+        );
+        out.gauge(
+            "baps_reactor_ready_batch_peak",
+            "Most ready events one epoll_wait returned at once.",
+            r.ready_batch_peak as f64,
+        );
+        out.counter(
+            "baps_reactor_ready_events_total",
+            "Readiness events delivered to the event loops.",
+            r.ready_events,
+        );
+        out.counter(
+            "baps_reactor_wakeups_total",
+            "Eventfd wakeups (new connections and miss completions).",
+            r.wakeups,
+        );
+        out.counter(
+            "baps_reactor_inline_dispatch_total",
+            "Requests answered inline on an event loop.",
+            r.inline_served,
+        );
+        out.counter(
+            "baps_reactor_offloaded_dispatch_total",
+            "Requests handed to the blocking miss executor.",
+            r.offloaded,
+        );
+        out.gauge(
+            "baps_reactor_busy_fraction",
+            "Fraction of wall time the loops spent processing events.",
+            r.busy_fraction,
+        );
+    }
+
     // Latency histograms: answered GETs by serve tier, and every
     // dispatched message by verb.
     out.header(

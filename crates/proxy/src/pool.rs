@@ -163,27 +163,35 @@ impl PoolTelemetry {
         }
     }
 
-    fn enqueued(&self) {
+    /// Records the configured worker count. `WorkerPool::start_with` calls
+    /// this itself; the reactor's miss executor (which reuses this
+    /// telemetry for its own queue/busy gauges, see DESIGN.md §13) calls
+    /// it directly.
+    pub(crate) fn set_workers(&self, n: u64) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enqueued(&self) {
         let depth = self.queued.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         Self::raise_peak(&self.queued_peak, depth);
     }
 
-    fn enqueue_failed(&self) {
+    pub(crate) fn enqueue_failed(&self) {
         self.queued.fetch_sub(1, Ordering::Relaxed);
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn dequeued(&self, wait: Duration) {
+    pub(crate) fn dequeued(&self, wait: Duration) {
         self.queued.fetch_sub(1, Ordering::Relaxed);
         self.queue_wait.record(wait);
     }
 
-    fn task_started(&self) {
+    pub(crate) fn task_started(&self) {
         let busy = self.busy.fetch_add(1, Ordering::Relaxed) + 1;
         Self::raise_peak(&self.busy_peak, busy);
     }
 
-    fn task_finished(&self) {
+    pub(crate) fn task_finished(&self) {
         self.busy.fetch_sub(1, Ordering::Relaxed);
     }
 

@@ -77,7 +77,7 @@ use std::io::{self, BufRead, IoSlice, Write};
 use std::sync::Arc;
 
 /// Maximum accepted header count (straightforward DoS hygiene).
-const MAX_HEADERS: usize = 64;
+pub(crate) const MAX_HEADERS: usize = 64;
 /// Maximum accepted body size.
 pub const MAX_BODY: usize = 64 << 20;
 
@@ -195,7 +195,7 @@ pub fn encode_message(msg: &Message) -> io::Result<Vec<u8>> {
 
 /// Serialises the start line and headers (through the terminating blank
 /// line), validating any caller-supplied `Content-Length`.
-fn encode_head(msg: &Message) -> io::Result<String> {
+pub(crate) fn encode_head(msg: &Message) -> io::Result<String> {
     if let Some(declared) = msg.get("Content-Length") {
         let declared: usize = declared.parse().map_err(|e| {
             io::Error::new(

@@ -22,6 +22,7 @@ use crate::pool::{
 use crate::protocol::{
     read_message, response, response_code, status, write_message, Body, Message,
 };
+use crate::reactor::{Reactor, ReactorHandle, ReactorSnapshot, ReactorTelemetry};
 use crate::shard::{auto_shards, ShardedCache, StripedIndex, DEFAULT_INDEX_SHARDS};
 use crate::store::CachedDoc;
 use baps_crypto::{AnonymizingProxy, PeerId, ProxySigner, PublicKey, Watermark};
@@ -50,6 +51,29 @@ const ORIGIN_TIMEOUT: Duration = Duration::from_secs(5);
 /// Initial backoff between retried peer probes / origin fetches.
 const RETRY_BACKOFF: Duration = Duration::from_millis(5);
 
+/// How the proxy serves client connections (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// The classic bounded worker pool: each open keep-alive connection
+    /// occupies one thread. Simple, and the A/B baseline for the reactor.
+    #[default]
+    Threads,
+    /// The epoll reactor: event loops multiplex every connection, idle
+    /// connections cost one registered fd, and only blocking miss-path
+    /// work (disk, peers, origin) runs on a small executor pool.
+    Reactor,
+}
+
+impl IoMode {
+    /// Stable lowercase name, as reported in the `Io-Mode` STATS header.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Threads => "threads",
+            IoMode::Reactor => "reactor",
+        }
+    }
+}
+
 /// Proxy configuration.
 #[derive(Debug, Clone)]
 pub struct ProxyConfig {
@@ -69,10 +93,20 @@ pub struct ProxyConfig {
     /// (the paper's companion anonymity protocols, HPL-2001-204, address
     /// that; the relayed mode keeps full mutual anonymity).
     pub direct_forward: bool,
-    /// Worker threads serving client connections. Each keep-alive
-    /// connection occupies a worker while open, so this bounds the number
-    /// of concurrently connected clients (size it at `n_clients` plus
-    /// headroom for one-shot administrative connections).
+    /// Connection-serving architecture. `Threads` (the default) keeps the
+    /// bounded worker pool; `Reactor` serves every connection from epoll
+    /// event loops and uses `worker_threads` to size the blocking miss
+    /// executor instead.
+    pub io_mode: IoMode,
+    /// Event loops in `Reactor` mode; `0` sizes one per CPU core.
+    pub reactor_loops: usize,
+    /// Worker threads serving client connections. In `Threads` mode each
+    /// keep-alive connection occupies a worker while open, so this bounds
+    /// the number of concurrently connected clients (size it at
+    /// `n_clients` plus headroom for one-shot administrative connections).
+    /// In `Reactor` mode this sizes the blocking miss executor — the
+    /// threads that run disk/peer/origin fetches — while connections
+    /// themselves are unbounded-by-threads.
     pub worker_threads: usize,
     /// Bounded queue of accepted-but-unclaimed connections; when full,
     /// new connections are dropped (clients see EOF and may retry).
@@ -304,7 +338,7 @@ pub(crate) struct ProxyState {
     /// proxy (loaded from the disk root at start). Folded into every
     /// snapshot so the monotonic `baps_*_total` series survive a restart.
     baseline: ProxyStats,
-    config: ProxyConfig,
+    pub(crate) config: ProxyConfig,
     pub(crate) obs: ProxyObs,
     /// The persistent disk tier, when configured.
     pub(crate) disk: Option<DiskTier>,
@@ -314,6 +348,9 @@ pub(crate) struct ProxyState {
     /// STATS/METRICS can report queue depth, busy workers, and
     /// time-in-queue without reaching into the acceptor thread.
     pub(crate) telemetry: Arc<PoolTelemetry>,
+    /// Reactor-loop telemetry, present only in `IoMode::Reactor` (in that
+    /// mode `telemetry` above describes the blocking miss executor).
+    pub(crate) reactor: Option<Arc<ReactorTelemetry>>,
     /// Per-document in-flight miss registry (thundering-herd coalescing):
     /// the first miss for a doc becomes the leader and fetches; concurrent
     /// misses park on the entry's condvar and share the leader's outcome.
@@ -337,14 +374,75 @@ impl ProxyState {
     }
 }
 
+/// The connection-serving engine behind the accept loop: the bounded
+/// worker pool (`IoMode::Threads`) or the epoll reactor
+/// (`IoMode::Reactor`). Both expose the same three operations the server
+/// needs: hand over an accepted socket, expose connection control, and
+/// shut down joining every thread.
+enum ServeBackend {
+    Threads(WorkerPool),
+    Reactor(Reactor),
+}
+
+impl ServeBackend {
+    fn dispatch(&self, stream: TcpStream) -> bool {
+        match self {
+            ServeBackend::Threads(pool) => pool.dispatch(stream),
+            ServeBackend::Reactor(reactor) => reactor.dispatch(stream),
+        }
+    }
+
+    fn conn_control(&self) -> ConnControl {
+        match self {
+            ServeBackend::Threads(pool) => ConnControl::Threads(Arc::clone(pool.registry())),
+            ServeBackend::Reactor(reactor) => ConnControl::Reactor(reactor.handle()),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            ServeBackend::Threads(pool) => pool.shutdown(),
+            ServeBackend::Reactor(reactor) => reactor.shutdown(),
+        }
+    }
+}
+
+/// Mode-specific handle for the connection-control surface
+/// (`open_connections` / `drop_connections`), kept on [`ProxyServer`]
+/// because the backend itself moves into the acceptor thread. Thread mode
+/// goes through the pool's [`ConnRegistry`] (which holds a duplicate fd per
+/// connection so any thread can sever it); reactor mode asks the loops,
+/// which own their sockets outright — one fd per connection, which is what
+/// lets a 10k-idle-connection ladder fit in an ordinary fd table.
+enum ConnControl {
+    Threads(Arc<ConnRegistry>),
+    Reactor(ReactorHandle),
+}
+
+impl ConnControl {
+    fn open_connections(&self) -> usize {
+        match self {
+            ConnControl::Threads(registry) => registry.open_connections(),
+            ConnControl::Reactor(handle) => handle.open_connections(),
+        }
+    }
+
+    fn drop_all(&self) {
+        match self {
+            ConnControl::Threads(registry) => registry.drop_all(),
+            ConnControl::Reactor(handle) => handle.drop_all(),
+        }
+    }
+}
+
 /// A running browsers-aware proxy.
 pub struct ProxyServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    /// The acceptor thread; it owns the worker pool and hands it back on
-    /// exit so `stop` can join the workers.
-    handle: Option<JoinHandle<WorkerPool>>,
-    registry: Arc<ConnRegistry>,
+    /// The acceptor thread; it owns the serving backend (worker pool or
+    /// reactor) and hands it back on exit so `stop` can join the threads.
+    handle: Option<JoinHandle<ServeBackend>>,
+    conns: ConnControl,
     state: Arc<ProxyState>,
     /// The bound listening socket. The acceptor thread runs on a clone;
     /// keeping the original here lets [`ProxyServer::restart`] hand the
@@ -392,6 +490,18 @@ impl ProxyServer {
             .map(|d| load_baseline(d.root()))
             .unwrap_or_default();
         let telemetry = Arc::new(PoolTelemetry::new());
+        let reactor_telemetry = match config.io_mode {
+            IoMode::Reactor => Some(Arc::new(ReactorTelemetry::new())),
+            IoMode::Threads => None,
+        };
+        let io_mode = config.io_mode;
+        let reactor_loops = if config.reactor_loops == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.reactor_loops
+        };
         let state = Arc::new(ProxyState {
             cache: ShardedCache::new(config.cache_capacity, auto_shards(config.cache_capacity)),
             index: StripedIndex::new(DEFAULT_INDEX_SHARDS),
@@ -410,21 +520,32 @@ impl ProxyServer {
             disk,
             origin_pool: Mutex::new(Vec::new()),
             telemetry: Arc::clone(&telemetry),
+            reactor: reactor_telemetry.clone(),
             inflight: Mutex::new(HashMap::new()),
         });
-        let pool = {
-            let state = Arc::clone(&state);
-            WorkerPool::start_with(
-                "baps-proxy-worker",
+        let backend = match io_mode {
+            IoMode::Threads => {
+                let state = Arc::clone(&state);
+                ServeBackend::Threads(WorkerPool::start_with(
+                    "baps-proxy-worker",
+                    workers,
+                    backlog,
+                    telemetry,
+                    move |stream, queue_wait| {
+                        let _ = serve_connection(stream, queue_wait, &state);
+                    },
+                )?)
+            }
+            IoMode::Reactor => ServeBackend::Reactor(Reactor::start(
+                "baps-proxy",
+                reactor_loops,
                 workers,
-                backlog,
+                Arc::clone(&state),
                 telemetry,
-                move |stream, queue_wait| {
-                    let _ = serve_connection(stream, queue_wait, &state);
-                },
-            )?
+                reactor_telemetry.expect("reactor telemetry exists in reactor mode"),
+            )?),
         };
-        let registry = Arc::clone(pool.registry());
+        let conns = backend.conn_control();
         let handle = {
             let shutdown = Arc::clone(&shutdown);
             let acceptor = listener.try_clone()?;
@@ -436,18 +557,20 @@ impl ProxyServer {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
-                        // Bounded dispatch: under a connection flood the
-                        // excess connections are dropped, not threaded.
-                        pool.dispatch(stream);
+                        // Threads mode: bounded dispatch — under a
+                        // connection flood the excess connections are
+                        // dropped, not threaded. Reactor mode: the loop
+                        // registers the fd; idle connections are cheap.
+                        backend.dispatch(stream);
                     }
-                    pool
+                    backend
                 })?
         };
         Ok(ProxyServer {
             addr,
             shutdown,
             handle: Some(handle),
-            registry,
+            conns,
             state,
             listener,
         })
@@ -536,16 +659,31 @@ impl ProxyServer {
         self.state.cache.get(doc, url).map(|d| d.body)
     }
 
-    /// Client connections currently held open by workers.
+    /// Client connections currently held open (by workers in thread mode,
+    /// registered with the event loops in reactor mode).
     pub fn open_connections(&self) -> usize {
-        self.registry.open_connections()
+        self.conns.open_connections()
     }
 
     /// Runtime-saturation snapshot of the worker pool: configured workers,
     /// accept-backlog depth (current and peak), busy workers (current and
-    /// peak), rejected connections, and the time-in-queue histogram.
+    /// peak), rejected connections, and the time-in-queue histogram. In
+    /// `IoMode::Reactor` the same gauges describe the blocking miss
+    /// executor (its queue is the offload channel, not the accept backlog).
     pub fn saturation(&self) -> SaturationSnapshot {
         self.state.telemetry.snapshot()
+    }
+
+    /// The configured connection-serving mode.
+    pub fn io_mode(&self) -> IoMode {
+        self.state.config.io_mode
+    }
+
+    /// Reactor-loop telemetry snapshot: registered fds (current and peak),
+    /// ready-batch depth, loop busy-fraction, inline vs offloaded
+    /// dispatches. `None` in `IoMode::Threads`.
+    pub fn reactor_stats(&self) -> Option<ReactorSnapshot> {
+        self.state.reactor.as_ref().map(|r| r.snapshot())
     }
 
     /// Entries currently in the in-flight miss registry (thundering-herd
@@ -564,7 +702,7 @@ impl ProxyServer {
     /// discards pooled origin connections) without stopping the server.
     /// Keep-alive clients observe EOF mid-session and must reconnect.
     pub fn drop_connections(&self) {
-        self.registry.drop_all();
+        self.conns.drop_all();
         self.state.origin_pool.lock().clear();
     }
 
@@ -578,13 +716,13 @@ impl ProxyServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the acceptor; it checks the flag and returns the pool.
+        // Unblock the acceptor; it checks the flag and returns the backend.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
-            if let Ok(pool) = handle.join() {
-                // Closes every open connection so looping handlers exit,
-                // then joins the workers.
-                pool.shutdown();
+            if let Ok(backend) = handle.join() {
+                // Closes every open connection so looping handlers (or
+                // event loops) exit, then joins the threads.
+                backend.shutdown();
             }
         }
         self.state.origin_pool.lock().clear();
@@ -708,7 +846,28 @@ fn serve_connection(stream: TcpStream, queue_wait: Duration, state: &ProxyState)
     Ok(())
 }
 
-fn dispatch(
+/// Whether this request can block the thread that runs it (disk reads,
+/// peer probes with retry backoff, origin fetches, coalesced followers
+/// parking on a condvar) — i.e. whether the reactor must hand it to the
+/// blocking miss executor instead of running it inline on an event loop.
+/// Only a `GET` that misses the memory cache qualifies; every admin verb
+/// and every memory hit answers from local state. The probe uses
+/// `ShardedCache::contains` (no LRU promotion, no hit/miss counters), so
+/// the real `cache.get` in `handle_get` keeps identical stats in both I/O
+/// modes. The probe can race an eviction — `contains` true, then the real
+/// `get` misses — in which case the loop rarely runs one miss inline;
+/// correctness is unaffected (DESIGN.md §13 discusses the trade).
+pub(crate) fn needs_miss_executor(msg: &Message, state: &ProxyState) -> bool {
+    match msg.tokens().as_slice() {
+        ["GET", url, "BAPS/1.0"] => {
+            let doc = doc_id(state, url);
+            !state.cache.contains(doc, url)
+        }
+        _ => false,
+    }
+}
+
+pub(crate) fn dispatch(
     msg: &Message,
     peer_ip: std::net::IpAddr,
     queue_wait: &mut Option<Duration>,
@@ -821,7 +980,7 @@ fn record_hop(
 /// Interns `url`, taking only the shared read lock on the steady-state
 /// path (every URL after its first sighting). The read→write upgrade race
 /// is benign: `intern` is idempotent, so two writers agree on the id.
-fn doc_id(state: &ProxyState, url: &str) -> DocId {
+pub(crate) fn doc_id(state: &ProxyState, url: &str) -> DocId {
     if let Some(id) = state.urls.read().get(url) {
         return DocId(id);
     }
@@ -1463,8 +1622,25 @@ fn stats_response(state: &ProxyState) -> Message {
     let s = state.stats();
     let disk = state.disk.as_ref().map(DiskTier::stats).unwrap_or_default();
     let sat = state.telemetry.snapshot();
-    response(status::OK, "OK")
-        .header("Requests", s.requests.to_string())
+    let mut resp = response(status::OK, "OK").header("Io-Mode", state.config.io_mode.name());
+    // Reactor gauges ride the same verb so BENCH/ops tooling needs no new
+    // endpoint; `Workers`/`Queue-*` below describe the miss executor in
+    // reactor mode.
+    if let Some(reactor) = &state.reactor {
+        let r = reactor.snapshot();
+        resp = resp
+            .header("Reactor-Loops", r.loops.to_string())
+            .header("Reactor-Fds", r.registered_fds.to_string())
+            .header("Reactor-Fds-Peak", r.registered_fds_peak.to_string())
+            .header("Reactor-Ready-Peak", r.ready_batch_peak.to_string())
+            .header(
+                "Reactor-Busy-Permille",
+                format!("{:.0}", r.busy_fraction * 1000.0),
+            )
+            .header("Reactor-Inline", r.inline_served.to_string())
+            .header("Reactor-Offloaded", r.offloaded.to_string());
+    }
+    resp.header("Requests", s.requests.to_string())
         .header("Recorder-Dropped", state.obs.recorder.dropped().to_string())
         .header("Workers", sat.workers.to_string())
         .header("Busy-Workers", sat.busy_workers.to_string())

@@ -5,7 +5,7 @@ use crate::disk::DiskConfig;
 use crate::error::ProxyError;
 use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
-use crate::proxy::{ProxyConfig, ProxyServer};
+use crate::proxy::{IoMode, ProxyConfig, ProxyServer};
 use crate::store::DocumentStore;
 use baps_obs::FlightRecorder;
 use std::path::PathBuf;
@@ -27,9 +27,14 @@ pub struct TestBedConfig {
     pub direct_forward: bool,
     /// Seed for the proxy's key pair.
     pub key_seed: u64,
+    /// Proxy connection-serving mode: the bounded worker pool (default)
+    /// or the epoll reactor (DESIGN.md §13).
+    pub io_mode: IoMode,
     /// Proxy worker threads. `0` (the default) sizes the pool
     /// automatically: one worker per client's keep-alive connection plus
-    /// headroom for one-shot administrative connections.
+    /// headroom for one-shot administrative connections. In reactor mode
+    /// the same count sizes the blocking miss executor, preserving the
+    /// thread-mode concurrency envelope for miss-path work.
     pub proxy_workers: usize,
     /// Proxy accept backlog. `0` (the default) uses the library default.
     pub proxy_backlog: usize,
@@ -75,6 +80,7 @@ impl Default for TestBedConfig {
             cache_peer_hits: false,
             direct_forward: false,
             key_seed: 0xbaf5,
+            io_mode: IoMode::default(),
             proxy_workers: 0,
             proxy_backlog: 0,
             client_timeout: Duration::from_secs(5),
@@ -139,6 +145,8 @@ impl TestBed {
             key_seed: config.key_seed,
             cache_peer_hits: config.cache_peer_hits,
             direct_forward: config.direct_forward,
+            io_mode: config.io_mode,
+            reactor_loops: 0,
             worker_threads: workers,
             accept_backlog: config.proxy_backlog,
             peer_timeout: config.peer_timeout,

@@ -22,6 +22,15 @@ echo "== chaos soak (fixed seed)"
 # on any invariant violation.
 cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
 
+echo "== chaos soak, reactor I/O mode (fixed seed)"
+# The same deterministic soak with the proxy on the epoll reactor
+# (io_mode = Reactor) instead of the thread-per-connection pool: every
+# proxy fault kind (stall/drop/restart) must fire with identical
+# per-fault counts and outcome tallies across both internal runs, gating
+# that the event-driven path keeps byte-exact fault semantics.
+cargo run --release -q -p baps-bench --bin chaos_soak -- \
+    --seed 42 --requests 2000 --io-mode reactor
+
 echo "== chaos soak, warm-restart mode (fixed seed)"
 # Same deterministic soak with the persistent disk tier enabled and one
 # full in-place proxy restart at mid-schedule: gates that the restarted
@@ -69,6 +78,9 @@ cargo run --release -q -p baps-bench --bin trace_report -- \
 echo "== live_load thread-scaling sweep (non-gating perf smoke)"
 # Scaled-down sweep to catch serialization collapses (a global lock or an
 # undersized downstream pool shows up as a multiple, not a percentage).
+# Includes the connection-count axis: thread mode vs the reactor holding
+# idle keep-alive connections (up to 10k registered fds) while serving
+# active clients.
 # Non-gating: loopback throughput on shared CI hosts is too noisy to fail
 # the build on, so the curve is printed for eyeballing and the canonical
 # numbers live in the committed BENCH_live.json.
