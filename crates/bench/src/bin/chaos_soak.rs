@@ -28,10 +28,18 @@
 //!    and serve disk hits afterwards, its counters must stay monotonic
 //!    across the restart, and every post-restart body is still byte-exact
 //!    (invariant 1 keeps applying).
+//! 6. **SLO verdicts** — after the schedule, the `HEALTH` verb
+//!    (DESIGN.md §14) must judge the degraded-but-working deployment
+//!    `ok` against a chaos-calibrated rule table, and a post-schedule
+//!    burst of GETs for URLs that exist nowhere (every one a clean
+//!    proxy-side error) must flip `error_burn` to `critical`
+//!    deterministically.
 //!
 //! On any violation the binary dumps the deployment's flight-recorder
 //! ring (the last ~8k span events before the violation, trace ids
-//! included), prints a reproduction command, and exits nonzero.
+//! included) headed by a live saturation snapshot and the current
+//! `HEALTH` verdict line (offending rules + their tail exemplar trace
+//! ids), prints a reproduction command, and exits nonzero.
 //!
 //! With `--scenario <name>` the random schedule is replaced by one of
 //! the deterministic adversarial shapes from `baps_trace::scenarios`
@@ -66,8 +74,8 @@ use baps_bench::scenario::{
 use baps_obs::{EventKind, TraceId};
 use baps_proxy::fault::FaultKind;
 use baps_proxy::{
-    DocumentStore, FaultConfig, FaultCounts, FaultPlan, IoMode, ProxyError, Source, TestBed,
-    TestBedConfig,
+    DocumentStore, FaultConfig, FaultCounts, FaultPlan, IoMode, ProxyError, SloRule, SloSignal,
+    SloTable, Source, TestBed, TestBedConfig, Verdict,
 };
 use baps_trace::Scenario;
 use rand::rngs::StdRng;
@@ -79,6 +87,48 @@ use std::time::{Duration, Instant};
 /// Hard ceiling on one fetch (client deadline 900 ms x retries + backoff
 /// leaves ample margin; anything slower indicates a hang).
 const FETCH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// GETs for nonexistent URLs in the post-schedule error burst. Every one
+/// is a clean proxy-side error, so the windowed error rate the burst
+/// window sees is 1.0 — far past any sane critical ceiling.
+const BURST_REQUESTS: u32 = 200;
+
+/// SLO table calibrated to the envelope this soak deliberately drives:
+/// at intensity 1.0 a few percent of fetches fail after bounded retries
+/// and tails ride the 1.3 s stall/timeout ladder, which the stock
+/// [`SloTable::default`] ceilings (tuned for production-shaped traffic)
+/// would flag. These ceilings sit above the chaos envelope while staying
+/// far below what the error burst in [`check_health_flip`] produces.
+fn chaos_slo() -> SloTable {
+    SloTable {
+        rules: vec![
+            SloRule::new("error_burn", SloSignal::ErrorRate, 10, 0.30, 0.60),
+            SloRule::new(
+                "p999_ceiling",
+                SloSignal::RequestP999Ms,
+                60,
+                2_500.0,
+                8_000.0,
+            ),
+            SloRule::new(
+                "origin_fallback",
+                SloSignal::OriginFallbackRate,
+                10,
+                0.60,
+                0.90,
+            ),
+            SloRule::new("queue_wait", SloSignal::QueueWaitP99Ms, 10, 250.0, 1_000.0),
+            SloRule::new("recorder_shed", SloSignal::RecorderShedPerSec, 10, 1e3, 1e5),
+            SloRule::new(
+                "reactor_ready_depth",
+                SloSignal::ReactorReadyDepth,
+                1,
+                1024.0,
+                8192.0,
+            ),
+        ],
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct SoakArgs {
@@ -230,6 +280,7 @@ fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
             origin_retries: 1,
             fault_plan: Some(Arc::clone(&plan)),
             disk_root: disk_root.clone(),
+            slo: chaos_slo(),
             ..TestBedConfig::default()
         },
     )
@@ -388,9 +439,18 @@ fn run_soak(args: SoakArgs, run: u32) -> SoakReport {
         );
     }
 
+    // Fault counts are frozen *before* the HEALTH burst so the run-to-run
+    // determinism comparison covers exactly the seeded schedule.
     let faults = plan.counts();
-    let recorder_dump = (!violations.is_empty())
-        .then(|| format!("{}\n{}", saturation_line(&bed), bed.recorder.render()));
+    check_health_flip(&bed, &mut violations);
+    let recorder_dump = (!violations.is_empty()).then(|| {
+        format!(
+            "{}\n{}\n{}",
+            saturation_line(&bed),
+            health_line(&bed),
+            bed.recorder.render()
+        )
+    });
     bed.shutdown();
     if let Some(dir) = disk_root {
         let _ = std::fs::remove_dir_all(dir);
@@ -444,6 +504,115 @@ fn saturation_line(bed: &TestBed) -> String {
         bed.recorder.dropped(),
         reactor,
     )
+}
+
+/// One-line `HEALTH` verdict snapshot taken while the deployment is
+/// still alive: the document verdict plus every offending rule with its
+/// measured value and tail exemplar trace ids (resolvable through
+/// `TRACE`). Rides next to the saturation line atop every violation
+/// dump, so an SLO burn is visible before reading the span stream.
+fn health_line(bed: &TestBed) -> String {
+    let report = bed.proxy.health();
+    let offending: Vec<String> = report
+        .offending()
+        .map(|r| {
+            let exemplars = if r.exemplars.is_empty() {
+                "-".to_string()
+            } else {
+                r.exemplars
+                    .iter()
+                    .map(|t| format!("{t:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!(
+                "{}={}({:.3}) exemplars {}",
+                r.name,
+                r.verdict.name(),
+                r.value,
+                exemplars
+            )
+        })
+        .collect();
+    format!(
+        "=== health: verdict={} | {} ===",
+        report.verdict.name(),
+        if offending.is_empty() {
+            "all rules ok".to_string()
+        } else {
+            offending.join(" | ")
+        }
+    )
+}
+
+/// Invariant 6: the chaos-calibrated SLO table judges the completed
+/// schedule `ok`, then an error burst flips `error_burn` to `critical`.
+///
+/// The flip is deterministic by construction: ten forced captures push
+/// the window tick train ten seconds past the wall clock (parking the
+/// once-a-second sampler), so the `error_burn` 10 s window at the next
+/// evaluation starts exactly here and the burst below — GETs for URLs
+/// that exist nowhere, every one an error — is the only traffic it sees.
+fn check_health_flip(bed: &TestBed, violations: &mut Vec<String>) {
+    let clean = bed.proxy.health();
+    if clean.verdict != Verdict::Ok {
+        let burning: Vec<String> = clean
+            .offending()
+            .map(|r| format!("{}={}({:.3})", r.name, r.verdict.name(), r.value))
+            .collect();
+        violate(
+            bed,
+            violations,
+            format!(
+                "clean-run HEALTH verdict {} (expected ok): {}",
+                clean.verdict.name(),
+                burning.join(", ")
+            ),
+        );
+    }
+    for _ in 0..10 {
+        bed.proxy.sample_windows_now();
+    }
+    for i in 0..BURST_REQUESTS {
+        let url = format!("http://origin/missing/{i}");
+        if bed.clients[0].fetch(&url).is_ok() {
+            violate(
+                bed,
+                violations,
+                format!("burst fetch of nonexistent {url} returned a body"),
+            );
+        }
+    }
+    let burst = bed.proxy.health();
+    match burst.rule("error_burn") {
+        None => violate(
+            bed,
+            violations,
+            "error_burn rule missing from HEALTH after burst".to_string(),
+        ),
+        Some(rule) if rule.verdict != Verdict::Critical => violate(
+            bed,
+            violations,
+            format!(
+                "error burst did not flip error_burn to critical: verdict {} \
+                 (error rate {:.3} over a {} s span)",
+                rule.verdict.name(),
+                rule.value,
+                rule.span_secs
+            ),
+        ),
+        Some(_) => {}
+    }
+    if burst.verdict != Verdict::Critical {
+        violate(
+            bed,
+            violations,
+            format!(
+                "document verdict {} after error burst (worst rule must win)",
+                burst.verdict.name()
+            ),
+        );
+    }
 }
 
 /// Workers in the flash-crowd thundering-herd probe.
@@ -600,8 +769,14 @@ fn run_scenario_soak(scenario: Scenario, args: SoakArgs, run: u32) -> ScenarioRe
         (probe.herd, probe.origin_fetches, probe.coalesced_fetches)
     });
 
-    let recorder_dump = (!violations.is_empty())
-        .then(|| format!("{}\n{}", saturation_line(&bed), bed.recorder.render()));
+    let recorder_dump = (!violations.is_empty()).then(|| {
+        format!(
+            "{}\n{}\n{}",
+            saturation_line(&bed),
+            health_line(&bed),
+            bed.recorder.render()
+        )
+    });
     bed.shutdown();
     let _ = std::fs::remove_dir_all(&disk_root);
     ScenarioReport {

@@ -41,8 +41,12 @@
 //! per-tier latency tails next to the client-observed ones.
 //!
 //! `--smoke` is the CI gate: one `--metrics`-style run (every scrape
-//! assertion applies), then the overhead A/B, exiting nonzero if
-//! always-on recording costs more than 3% throughput.
+//! assertion applies, including the `baps_build_info` /
+//! `baps_uptime_seconds` identity gauges), then the overhead A/B, exiting
+//! nonzero if always-on recording costs more than 3% throughput.
+//! `--io-mode reactor` runs the driven deployment on the epoll reactor;
+//! `--no-overhead` skips the A/B (CI uses it for the second, reactor-mode
+//! smoke so the wall-clock-heavy overhead gate runs once).
 //!
 //! `--scenario <name>` replays one adversarial workload shape from
 //! `baps_trace::scenarios` (`flash-crowd`, `invalidation-storm`,
@@ -106,6 +110,7 @@ impl ModeReport {
 
 fn run_mode(
     keep_alive: bool,
+    io_mode: IoMode,
     n_clients: u32,
     per_client: u32,
     n_docs: usize,
@@ -118,6 +123,7 @@ fn run_mode(
         store,
         TestBedConfig {
             n_clients,
+            io_mode,
             proxy_capacity: 256 << 10,
             // Tiny browser caches keep most requests on the wire, which is
             // what this benchmark is about.
@@ -226,6 +232,28 @@ fn summarize_metrics(text: &str) {
         requests - errors,
         "tier histogram counts must sum to requests - errors"
     );
+    // Identity gauges (DESIGN.md §14): `baps_build_info` pins the version
+    // and serving mode of whatever produced the scrape, `baps_uptime_seconds`
+    // distinguishes a restart from a counter reset.
+    let build_info = samples
+        .iter()
+        .find(|s| s.name == "baps_build_info")
+        .expect("exposition is missing baps_build_info");
+    assert_eq!(build_info.value, 1.0, "baps_build_info must be exactly 1");
+    assert!(
+        build_info.label("version").is_some_and(|v| !v.is_empty()),
+        "baps_build_info must carry a non-empty version label"
+    );
+    assert!(
+        build_info
+            .label("io_mode")
+            .is_some_and(|m| m == "threads" || m == "reactor"),
+        "baps_build_info must carry a valid io_mode label"
+    );
+    assert!(
+        get("baps_uptime_seconds", &[]) >= 0.0,
+        "uptime gauge missing or negative"
+    );
     // Saturation families: the pool gauge is live and the time-in-queue
     // histogram saw every dispatched connection.
     assert!(get("baps_workers", &[]) > 0.0, "worker gauge missing/zero");
@@ -281,14 +309,30 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     );
     // Warmup: touch the page cache / allocator / loopback stack once so
     // the first measured point doesn't pay the process's cold-start costs.
-    let _ = run_mode(true, 2, (total / 16).max(1), n_docs, false, false);
+    let _ = run_mode(
+        true,
+        IoMode::Threads,
+        2,
+        (total / 16).max(1),
+        n_docs,
+        false,
+        false,
+    );
 
     let mut points: Vec<(u32, Option<ModeReport>)> =
         SWEEP_WORKERS.iter().map(|&w| (w, None)).collect();
     for round in 0..SWEEP_ROUNDS {
         for (workers, best) in &mut points {
             let per_client = (total / *workers).max(1);
-            let report = run_mode(true, *workers, per_client, n_docs, false, false);
+            let report = run_mode(
+                true,
+                IoMode::Threads,
+                *workers,
+                per_client,
+                n_docs,
+                false,
+                false,
+            );
             println!(
                 "round {}  {:>3} workers  {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   \
                  ({} requests in {:.2} s)",
@@ -364,6 +408,7 @@ fn run_sweep(total: u32, n_docs: usize, out_path: &str) {
     println!("\ncritical-path attribution ({OVERHEAD_WORKERS} workers, from a TRACE scrape):");
     let traced = run_mode(
         true,
+        IoMode::Threads,
         OVERHEAD_WORKERS,
         (total / OVERHEAD_WORKERS).max(1),
         n_docs,
@@ -1245,10 +1290,19 @@ fn measure_connections(total: u32, n_docs: usize) -> Vec<ConnPoint> {
 /// scheduler noise, so a first reading over budget triggers two more
 /// measurements and the gate judges the median of the three
 /// ([`measure_overhead_gated`]).
-fn run_smoke(total: u32, n_docs: usize) {
-    println!("live_load --smoke: METRICS exposition + recording-overhead gate\n");
+fn run_smoke(io_mode: IoMode, with_overhead: bool, total: u32, n_docs: usize) {
+    println!(
+        "live_load --smoke: METRICS exposition{} (io_mode={})\n",
+        if with_overhead {
+            " + recording-overhead gate"
+        } else {
+            ""
+        },
+        io_mode.name()
+    );
     let report = run_mode(
         true,
+        io_mode,
         OVERHEAD_WORKERS,
         (total / OVERHEAD_WORKERS).max(1),
         n_docs,
@@ -1273,6 +1327,10 @@ fn run_smoke(total: u32, n_docs: usize) {
         span::assemble(&spans).len()
     );
 
+    if !with_overhead {
+        println!("\nsmoke OK: exposition parses, counters balance (overhead gate skipped)");
+        return;
+    }
     let (overhead, measurements) = measure_overhead_gated(n_docs);
     let delta = overhead.delta_pct();
     if measurements > 1 {
@@ -1299,6 +1357,8 @@ fn main() {
     let mut sweep = false;
     let mut smoke = false;
     let mut metrics = false;
+    let mut io_mode = IoMode::Threads;
+    let mut with_overhead = true;
     let mut scenario = None;
     let mut out_path = "BENCH_live.json".to_owned();
     let mut positional = Vec::new();
@@ -1321,6 +1381,17 @@ fn main() {
             "--sweep" => sweep = true,
             "--smoke" => smoke = true,
             "--metrics" => metrics = true,
+            "--no-overhead" => with_overhead = false,
+            "--io-mode" => {
+                io_mode = match raw.next().as_deref() {
+                    Some("threads") => IoMode::Threads,
+                    Some("reactor") => IoMode::Reactor,
+                    other => {
+                        eprintln!("bad --io-mode {other:?} (threads|reactor)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--scenario" => {
                 let name = raw.next().unwrap_or_else(|| {
                     eprintln!("--scenario needs a name");
@@ -1367,7 +1438,7 @@ fn main() {
     if smoke {
         let total: u32 = arg(args.next(), "total_requests", 8000);
         let n_docs: usize = arg(args.next(), "n_docs", 64);
-        run_smoke(total, n_docs);
+        run_smoke(io_mode, with_overhead, total, n_docs);
         return;
     }
 
@@ -1379,9 +1450,9 @@ fn main() {
         "live_load: {n_clients} clients x {per_client} requests, {n_docs} docs (loopback sockets)\n"
     );
 
-    let per_request = run_mode(false, n_clients, per_client, n_docs, false, false);
+    let per_request = run_mode(false, io_mode, n_clients, per_client, n_docs, false, false);
     per_request.print();
-    let keep_alive = run_mode(true, n_clients, per_client, n_docs, metrics, false);
+    let keep_alive = run_mode(true, io_mode, n_clients, per_client, n_docs, metrics, false);
     keep_alive.print();
 
     println!(

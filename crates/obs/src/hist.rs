@@ -133,6 +133,11 @@ fn bucket_lower_ms(idx: usize) -> f64 {
     MIN_MS * 10f64.powf((idx - 1) as f64 / BUCKETS_PER_DECADE)
 }
 
+/// The largest finite bucket edge (the overflow bucket's lower edge) —
+/// what an exemplar on the `+Inf` bucket reports as its value, since
+/// OpenMetrics exemplar values must stay finite.
+pub(crate) const MAX_FINITE_EDGE_MS: f64 = 1e5;
+
 /// Upper edge of a bucket, ms — the Prometheus `le` bound. The overflow
 /// bucket's edge is `+Inf`.
 pub fn bucket_upper_ms(idx: usize) -> f64 {
@@ -243,6 +248,52 @@ impl LatencyHistogram {
             .filter(|(_, &c)| c > 0)
             .map(|(idx, &c)| (bucket_upper_ms(idx), c))
     }
+
+    /// The raw per-bucket counts, all [`NBUCKETS`] of them (zeros
+    /// included) — the capture shape the window ring stores.
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the window ring's
+    /// read path). The count is derived from the bucket sum; the maximum
+    /// is approximated by the highest occupied bucket's edge, since the
+    /// exact sample is not recoverable from bucket deltas.
+    pub(crate) fn from_bucket_counts(counts: Vec<u64>, sum_ms: f64) -> LatencyHistogram {
+        assert_eq!(counts.len(), NBUCKETS);
+        let total = counts.iter().sum();
+        let max_ms = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|idx| {
+                if idx < NBUCKETS - 1 {
+                    bucket_upper_ms(idx)
+                } else {
+                    bucket_lower_ms(idx)
+                }
+            })
+            .unwrap_or(0.0);
+        LatencyHistogram {
+            counts,
+            total,
+            sum_ms,
+            max_ms,
+        }
+    }
+}
+
+/// The index of the first *tail* bucket: exemplars are retained for this
+/// bucket and above. 10 ms and up — in this system's latency regime
+/// (sub-millisecond cache hits, single-digit-millisecond disk reads) the
+/// p99 region of every tier sits at or above this edge, while the buckets
+/// below it turn over far too fast for a retained trace id to still be
+/// in the flight-recorder ring by the time anyone scrapes it.
+pub const TAIL_BUCKET_FLOOR: usize = first_bucket_at_or_above_10ms();
+
+/// `bucket_of(10.0)` as a const: 10 ms = 1e5 × MIN_MS, so it opens decade
+/// 5 of 9 — bucket 1 + 5 × 18.
+const fn first_bucket_at_or_above_10ms() -> usize {
+    1 + 5 * (BUCKETS_PER_DECADE as usize)
 }
 
 /// The same bucket layout with lock-free buckets, for always-on recording
@@ -259,6 +310,13 @@ pub struct AtomicHistogram {
     /// Total observed time in nanoseconds (u64 wraps after ~584 years).
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Most recent head-sampled `TraceId` observed per tail bucket
+    /// (index `TAIL_BUCKET_FLOOR..`), 0 = none yet. A tail latency in the
+    /// exposition thereby links to a `TRACE`-fetchable span tree. Only
+    /// sampled traces are stored, so every retained exemplar has a span
+    /// tree to resolve to; the store is a single `Relaxed` write on at
+    /// most 1-in-[`crate::span::SAMPLE_ONE_IN`] requests.
+    exemplars: Vec<AtomicU64>,
 }
 
 impl Default for AtomicHistogram {
@@ -274,6 +332,9 @@ impl AtomicHistogram {
             counts: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            exemplars: (TAIL_BUCKET_FLOOR..NBUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -302,6 +363,36 @@ impl AtomicHistogram {
         if ns > self.max_ns.load(Ordering::Relaxed) {
             self.max_ns.fetch_max(ns, Ordering::Relaxed);
         }
+    }
+
+    /// Records one observation and, when `trace` is head-sampled and the
+    /// latency lands in a tail bucket, retains it as that bucket's
+    /// exemplar. This is the always-on request path: the sampling check
+    /// is one multiply-and-shift, and the exemplar store fires on at most
+    /// 1-in-32 requests.
+    #[inline]
+    pub fn record_traced(&self, d: Duration, trace: crate::TraceId) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = bucket_of_ns(ns);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if ns > self.max_ns.load(Ordering::Relaxed) {
+            self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        if bucket >= TAIL_BUCKET_FLOOR && crate::span::sampled(trace) {
+            self.exemplars[bucket - TAIL_BUCKET_FLOOR].store(trace.0, Ordering::Relaxed);
+        }
+    }
+
+    /// Exemplar traces per bucket: `traces[i]` is the most recent sampled
+    /// trace id observed in bucket `i` (0 below [`TAIL_BUCKET_FLOOR`] and
+    /// in tail buckets that have seen no sampled observation yet).
+    pub fn exemplar_traces(&self) -> Vec<u64> {
+        let mut traces = vec![0u64; NBUCKETS];
+        for (slot, t) in self.exemplars.iter().zip(&mut traces[TAIL_BUCKET_FLOOR..]) {
+            *t = slot.load(Ordering::Relaxed);
+        }
+        traces
     }
 
     /// A point-in-time copy, readable with the full [`LatencyHistogram`]
@@ -384,6 +475,16 @@ impl LabeledHistograms {
         }
     }
 
+    /// Records into the histogram at `idx`, retaining `trace` as the tail
+    /// bucket's exemplar when it is head-sampled (see
+    /// [`AtomicHistogram::record_traced`]).
+    #[inline]
+    pub fn record_traced(&self, idx: usize, d: Duration, trace: crate::TraceId) {
+        if crate::recording() {
+            self.hists[idx].record_traced(d, trace);
+        }
+    }
+
     /// Snapshot of the histogram at `idx`.
     pub fn snapshot(&self, idx: usize) -> LatencyHistogram {
         self.hists[idx].snapshot()
@@ -395,6 +496,17 @@ impl LabeledHistograms {
             .iter()
             .zip(&self.hists)
             .map(|(&l, h)| (l, h.snapshot()))
+    }
+
+    /// Snapshots every series along with its per-bucket exemplar traces
+    /// (see [`AtomicHistogram::exemplar_traces`]) — the exposition path.
+    pub fn iter_with_exemplars(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, LatencyHistogram, Vec<u64>)> + '_ {
+        self.labels
+            .iter()
+            .zip(&self.hists)
+            .map(|(&l, h)| (l, h.snapshot(), h.exemplar_traces()))
     }
 }
 
@@ -552,6 +664,69 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.snapshot().count(), 2000);
+    }
+
+    #[test]
+    fn tail_bucket_floor_is_10ms() {
+        assert_eq!(TAIL_BUCKET_FLOOR, bucket_of(10.0));
+        assert!(bucket_upper_ms(TAIL_BUCKET_FLOOR) >= 10.0);
+        assert!(bucket_lower_ms(TAIL_BUCKET_FLOOR) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn exemplars_retained_only_for_sampled_tail_observations() {
+        use crate::TraceId;
+        // A trace id the head-sampling rule accepts, found by search so
+        // the test does not depend on which ids happen to hash to zero.
+        let sampled_trace = (1..10_000u64)
+            .map(|s| TraceId::mint(0, s))
+            .find(|&t| crate::span::sampled(t))
+            .expect("some trace in 10k is sampled at 1-in-32");
+        let unsampled_trace = (1..10_000u64)
+            .map(|s| TraceId::mint(0, s))
+            .find(|&t| !crate::span::sampled(t))
+            .unwrap();
+        let h = AtomicHistogram::new();
+        // Fast observation: never an exemplar, sampled or not.
+        h.record_traced(Duration::from_micros(50), sampled_trace);
+        assert!(h.exemplar_traces().iter().all(|&t| t == 0));
+        // Tail observation with an unsampled trace: counted, no exemplar.
+        h.record_traced(Duration::from_millis(80), unsampled_trace);
+        assert!(h.exemplar_traces().iter().all(|&t| t == 0));
+        // Tail observation with a sampled trace: retained in its bucket.
+        h.record_traced(Duration::from_millis(80), sampled_trace);
+        let traces = h.exemplar_traces();
+        let bucket = bucket_of(80.0);
+        assert_eq!(traces[bucket], sampled_trace.0);
+        assert_eq!(traces.iter().filter(|&&t| t != 0).count(), 1);
+        assert!(bucket >= TAIL_BUCKET_FLOOR);
+        // The most recent sampled trace wins.
+        let newer = (1..10_000u64)
+            .map(|s| TraceId::mint(7, s))
+            .find(|&t| crate::span::sampled(t))
+            .unwrap();
+        h.record_traced(Duration::from_millis(80), newer);
+        assert_eq!(h.exemplar_traces()[bucket], newer.0);
+        // Counts are unaffected by exemplar bookkeeping.
+        assert_eq!(h.snapshot().count(), 4);
+    }
+
+    #[test]
+    fn windowed_reconstruction_roundtrips() {
+        let mut h = LatencyHistogram::new();
+        for v in [0.5, 3.0, 42.0, 42.0, 9000.0] {
+            h.record(v);
+        }
+        let rebuilt = LatencyHistogram::from_bucket_counts(h.bucket_counts().to_vec(), h.sum_ms());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum_ms(), h.sum_ms());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(rebuilt.quantile_ms(q), h.quantile_ms(q));
+        }
+        // Max is approximated by the occupied bucket's edge: at or above
+        // the true max, within one bucket's relative error.
+        assert!(rebuilt.max_ms() >= h.max_ms());
+        assert!(rebuilt.max_ms() <= h.max_ms() * 1.14);
     }
 
     #[test]

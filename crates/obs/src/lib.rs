@@ -18,7 +18,11 @@
 //!   the JSONL export behind the `TRACE BAPS/1.0` verb, and span-tree
 //!   assembly ([`span::assemble`]);
 //! * [`prom`] — Prometheus text exposition rendering (and a parser for
-//!   the CI smoke test), backing the `METRICS BAPS/1.0` verb.
+//!   the CI smoke test), backing the `METRICS BAPS/1.0` verb;
+//! * [`window`] — a lock-free ring of per-second cumulative captures
+//!   yielding rolling 1 s/10 s/60 s rates and windowed quantiles, the
+//!   substrate the proxy's `HEALTH BAPS/1.0` SLO verdicts are computed
+//!   over.
 //!
 //! Recording is **always on**; [`set_recording`] exists solely so the
 //! overhead benchmark can measure the cost of the instrumentation by
@@ -31,11 +35,13 @@ pub mod prom;
 pub mod recorder;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use hist::{AtomicHistogram, LabeledHistograms, LatencyHistogram, Tier, TIER_NAMES};
 pub use recorder::{Event, EventKind, FlightRecorder};
 pub use span::{SpanId, SpanRecord, SpanTree};
 pub use trace::TraceId;
+pub use window::{WindowRing, WindowSchema, WindowSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -46,6 +46,12 @@ impl PromText {
 
     /// Emits one sample line.
     pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_suffixed(name, labels, value, "");
+    }
+
+    /// One sample line with a raw trailer (the exemplar suffix) between
+    /// the value and the newline.
+    fn sample_suffixed(&mut self, name: &str, labels: &[(&str, &str)], value: f64, suffix: &str) {
         self.out.push_str(name);
         if !labels.is_empty() {
             self.out.push('{');
@@ -58,7 +64,7 @@ impl PromText {
             }
             self.out.push('}');
         }
-        let _ = writeln!(self.out, " {}", fmt_value(value));
+        let _ = writeln!(self.out, " {}{suffix}", fmt_value(value));
     }
 
     /// Header plus a single unlabelled counter sample.
@@ -78,22 +84,59 @@ impl PromText {
     /// family [`header`](PromText::header) (kind `histogram`) once before
     /// the first series of the family.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &LatencyHistogram) {
+        self.histogram_with_exemplars(name, labels, h, &[]);
+    }
+
+    /// [`histogram`](PromText::histogram) plus OpenMetrics-style exemplar
+    /// suffixes: `exemplars[i]` is the retained trace id for raw bucket
+    /// `i` (0 = none — see `AtomicHistogram::exemplar_traces`), rendered
+    /// on that bucket's line as
+    /// `… count # {trace_id="<16-hex>"} <bucket edge>` so a tail spike in
+    /// a scrape links to a `TRACE`-fetchable span tree.
+    pub fn histogram_with_exemplars(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        h: &LatencyHistogram,
+        exemplars: &[u64],
+    ) {
         let bucket = format!("{name}_bucket");
         let mut cumulative = 0u64;
-        for (upper, count) in h.buckets() {
+        let counts = h.bucket_counts();
+        let mut overflow_exemplar = String::new();
+        for (idx, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
             cumulative += count;
+            let trace = exemplars.get(idx).copied().unwrap_or(0);
+            let upper = crate::hist::bucket_upper_ms(idx);
             if upper.is_infinite() {
-                // The overflow bucket is covered by the trailing +Inf line.
+                // The overflow bucket is covered by the trailing +Inf
+                // line; carry its exemplar there (the exemplar value must
+                // stay finite, so it reports the bucket's lower edge).
+                if trace != 0 {
+                    overflow_exemplar = exemplar_suffix(trace, crate::hist::MAX_FINITE_EDGE_MS);
+                }
                 continue;
             }
             let le = fmt_value(upper);
             let mut with_le = labels.to_vec();
             with_le.push(("le", le.as_str()));
-            self.sample(&bucket, &with_le, cumulative as f64);
+            self.sample_suffixed(
+                &bucket,
+                &with_le,
+                cumulative as f64,
+                &if trace != 0 {
+                    exemplar_suffix(trace, upper)
+                } else {
+                    String::new()
+                },
+            );
         }
         let mut with_le = labels.to_vec();
         with_le.push(("le", "+Inf"));
-        self.sample(&bucket, &with_le, h.count() as f64);
+        self.sample_suffixed(&bucket, &with_le, h.count() as f64, &overflow_exemplar);
         self.sample(&format!("{name}_sum"), labels, h.sum_ms());
         self.sample(&format!("{name}_count"), labels, h.count() as f64);
     }
@@ -101,6 +144,32 @@ impl PromText {
     /// The rendered exposition.
     pub fn finish(self) -> String {
         self.out
+    }
+}
+
+/// Renders the OpenMetrics exemplar trailer for a bucket line.
+fn exemplar_suffix(trace: u64, value_ms: f64) -> String {
+    format!(" # {{trace_id=\"{trace:016x}\"}} {}", fmt_value(value_ms))
+}
+
+/// An OpenMetrics exemplar attached to a `_bucket` sample: the labels
+/// (for this exposition always a single `trace_id`) and the exemplar's
+/// observed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Exemplar label pairs in order of appearance.
+    pub labels: Vec<(String, String)>,
+    /// The exemplar value (an observation within the bucket).
+    pub value: f64,
+}
+
+impl Exemplar {
+    /// The `trace_id` label, if present.
+    pub fn trace_id(&self) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == "trace_id")
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -113,6 +182,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// The sample value (`+Inf`-aware).
     pub value: f64,
+    /// The OpenMetrics exemplar trailer, when the line carried one.
+    pub exemplar: Option<Exemplar>,
 }
 
 impl Sample {
@@ -143,6 +214,20 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
                 _ => return err("malformed comment"),
             }
         }
+        // An OpenMetrics exemplar trailer (` # {labels} value`) hangs off
+        // the sample value; split it on the first `#` outside quotes so a
+        // `#` inside a label value cannot truncate the line.
+        let (line, exemplar_text) = match hash_outside_quotes(line) {
+            Some(pos) => (line[..pos].trim_end(), Some(line[pos + 1..].trim_start())),
+            None => (line, None),
+        };
+        let exemplar = match exemplar_text {
+            None => None,
+            Some(text) => match parse_exemplar(text) {
+                Ok(e) => Some(e),
+                Err(what) => return err(&what),
+            },
+        };
         let (series, value) = match line.rsplit_once(' ') {
             Some(split) => split,
             None => return err("no value"),
@@ -189,9 +274,61 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
             name,
             labels,
             value,
+            exemplar,
         });
     }
     Ok(samples)
+}
+
+/// Position of the first `#` outside quoted label values, if any (the
+/// exemplar separator — comment lines never reach this).
+fn hash_outside_quotes(line: &str) -> Option<usize> {
+    let (mut in_quotes, mut escaped) = (false, false);
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the exemplar trailer body: `{labels} value`.
+fn parse_exemplar(text: &str) -> Result<Exemplar, String> {
+    let Some(rest) = text.strip_prefix('{') else {
+        return Err(format!("exemplar without label set: {text:?}"));
+    };
+    let Some((body, value)) = rest.split_once('}') else {
+        return Err(format!("unterminated exemplar label set: {text:?}"));
+    };
+    let mut labels = Vec::new();
+    for pair in split_label_pairs(body) {
+        let Some((k, v)) = pair.split_once('=') else {
+            return Err(format!("exemplar label without '=': {pair:?}"));
+        };
+        let v = v.trim();
+        if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+            return Err(format!("unquoted exemplar label value: {pair:?}"));
+        }
+        labels.push((
+            k.trim().to_string(),
+            v[1..v.len() - 1]
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\"),
+        ));
+    }
+    let value = value.trim();
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v
+            .parse()
+            .map_err(|_| format!("bad exemplar value: {value:?}"))?,
+    };
+    Ok(Exemplar { labels, value })
 }
 
 /// Splits `k1="v1",k2="v2"` on commas outside quotes.
@@ -320,6 +457,28 @@ pub fn check_conformance(text: &str) -> Result<(), String> {
         if kind == "counter" && !(sample.value.is_finite() && sample.value >= 0.0) {
             return err(format!("counter {family} with value {}", sample.value));
         }
+        if let Some(exemplar) = &sample.exemplar {
+            // Exemplars are only defined for histogram buckets, the
+            // labels must be well-formed, and this exposition's exemplars
+            // carry a 16-hex `trace_id` resolvable via `TRACE`.
+            if kind != "histogram" || !sample.name.ends_with("_bucket") {
+                return err(format!("exemplar on non-bucket sample {}", sample.name));
+            }
+            for (k, _) in &exemplar.labels {
+                if !name_ok(k, false) {
+                    return err(format!("bad exemplar label name {k:?}"));
+                }
+            }
+            let Some(trace) = exemplar.trace_id() else {
+                return err("exemplar without a trace_id label".to_string());
+            };
+            if trace.len() != 16 || !trace.chars().all(|c| c.is_ascii_hexdigit()) {
+                return err(format!("malformed exemplar trace_id {trace:?}"));
+            }
+            if !exemplar.value.is_finite() || exemplar.value < 0.0 {
+                return err(format!("bad exemplar value {}", exemplar.value));
+            }
+        }
         if kind == "histogram" {
             let key = series_key(&family, &sample.labels);
             if sample.name.ends_with("_bucket") {
@@ -330,6 +489,14 @@ pub fn check_conformance(text: &str) -> Result<(), String> {
                         .map_err(|e| format!("line {}: bad le {v:?}: {e}", lineno + 1))?,
                     None => return err("histogram bucket without le".to_string()),
                 };
+                if let Some(exemplar) = &sample.exemplar {
+                    if exemplar.value > le {
+                        return err(format!(
+                            "exemplar value {} above its bucket's le {le}",
+                            exemplar.value
+                        ));
+                    }
+                }
                 let idx = *series_index.entry(key).or_insert_with(|| {
                     series.push((family.clone(), Vec::new()));
                     series.len() - 1
@@ -533,5 +700,96 @@ mod tests {
         assert_eq!(samples[0].label("u"), Some("a\"b\\c"));
         assert_eq!(samples[0].label("le"), Some("+Inf"));
         assert!(samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn exemplars_render_parse_and_conform() {
+        use crate::hist::{bucket_upper_ms, NBUCKETS, TAIL_BUCKET_FLOOR};
+        let mut h = LatencyHistogram::new();
+        h.record(0.5); // fast bucket: no exemplar possible
+        h.record(80.0); // tail bucket: gets one
+        h.record(2e6); // overflow bucket: exemplar folds onto +Inf line
+        let mut exemplars = vec![0u64; NBUCKETS];
+        let tail_idx = (0..NBUCKETS).find(|&i| 80.0 <= bucket_upper_ms(i)).unwrap();
+        assert!(tail_idx >= TAIL_BUCKET_FLOOR);
+        exemplars[tail_idx] = 0x0000_0100_0000_002a;
+        exemplars[NBUCKETS - 1] = 0x0000_0200_0000_0007;
+        let mut text = PromText::new();
+        text.header("m", "histogram", "h");
+        text.histogram_with_exemplars("m", &[("tier", "origin")], &h, &exemplars);
+        let rendered = text.finish();
+        check_conformance(&rendered).expect("exemplar exposition conforms");
+
+        let samples = parse(&rendered).unwrap();
+        let tail = samples
+            .iter()
+            .find(|s| s.name == "m_bucket" && s.exemplar.is_some() && s.label("le") != Some("+Inf"))
+            .expect("tail bucket carries its exemplar");
+        let e = tail.exemplar.as_ref().unwrap();
+        assert_eq!(e.trace_id(), Some("000001000000002a"));
+        let le: f64 = tail.label("le").unwrap().parse().unwrap();
+        assert!(e.value <= le && e.value > 0.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "m_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        let e = inf.exemplar.as_ref().expect("overflow exemplar rides +Inf");
+        assert_eq!(e.trace_id(), Some("0000020000000007"));
+        assert!(e.value.is_finite());
+        // The fast bucket has no exemplar.
+        let fast = samples
+            .iter()
+            .find(|s| s.name == "m_bucket" && s.label("le").unwrap().parse::<f64>().unwrap() < 1.0)
+            .unwrap();
+        assert!(fast.exemplar.is_none());
+        // Exemplars do not perturb the histogram semantics.
+        assert_eq!(find(&samples, "m_count", &[("tier", "origin")]), Some(3.0));
+    }
+
+    #[test]
+    fn conformance_rejects_malformed_exemplars() {
+        let hist = "# HELP m h\n# TYPE m histogram\n";
+        // Exemplar on a counter.
+        assert!(check_conformance(
+            "# HELP c h\n# TYPE c counter\nc 1 # {trace_id=\"0000000000000001\"} 1\n"
+        )
+        .is_err());
+        // Exemplar on a histogram _count line.
+        assert!(check_conformance(&format!(
+            "{hist}m_bucket{{le=\"+Inf\"}} 1\nm_sum 1\nm_count 1 # {{trace_id=\"0000000000000001\"}} 1\n"
+        ))
+        .is_err());
+        // Short / non-hex trace ids.
+        for bad in ["abc", "zzzzzzzzzzzzzzzz"] {
+            assert!(check_conformance(&format!(
+                "{hist}m_bucket{{le=\"+Inf\"}} 1 # {{trace_id=\"{bad}\"}} 1\nm_sum 1\nm_count 1\n"
+            ))
+            .is_err());
+        }
+        // Missing trace_id label.
+        assert!(check_conformance(&format!(
+            "{hist}m_bucket{{le=\"+Inf\"}} 1 # {{span=\"x\"}} 1\nm_sum 1\nm_count 1\n"
+        ))
+        .is_err());
+        // Exemplar value above its bucket's le.
+        assert!(check_conformance(&format!(
+            "{hist}m_bucket{{le=\"5\"}} 1 # {{trace_id=\"0000000000000001\"}} 9\n\
+             m_bucket{{le=\"+Inf\"}} 1\nm_sum 1\nm_count 1\n"
+        ))
+        .is_err());
+        // A well-formed exemplar passes.
+        assert!(check_conformance(&format!(
+            "{hist}m_bucket{{le=\"5\"}} 1 # {{trace_id=\"0000000000000001\"}} 4\n\
+             m_bucket{{le=\"+Inf\"}} 1\nm_sum 1\nm_count 1\n"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn hash_inside_quoted_label_is_not_an_exemplar() {
+        let samples = parse("m{u=\"a#b\"} 3\n").unwrap();
+        assert_eq!(samples[0].label("u"), Some("a#b"));
+        assert_eq!(samples[0].value, 3.0);
+        assert!(samples[0].exemplar.is_none());
     }
 }

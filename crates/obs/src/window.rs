@@ -1,0 +1,429 @@
+//! Windowed telemetry: rolling rates and windowed quantiles over the
+//! always-on cumulative atomics.
+//!
+//! Every counter the runtime exposes is cumulative-since-start, which is
+//! the right wire contract (Prometheus rate math needs monotonic series)
+//! but the wrong shape for a health verdict: "how many origin fetches
+//! ever" says nothing about the fallback rate *right now*. The
+//! [`WindowRing`] closes that gap without touching the hot path: a
+//! sampler thread captures the cumulative values once per second into a
+//! lock-free ring of per-second slots, and a reader differences two
+//! captures to get exact deltas over any window the ring still covers.
+//!
+//! Two deliberate design choices:
+//!
+//! * **Slots hold cumulative captures, not deltas.** A window is the
+//!   difference of its endpoint captures, so the per-second deltas
+//!   telescope away: a reader racing the writer can never double-count a
+//!   second or observe a negative delta — the failure modes a
+//!   delta-per-slot ring has to defend against are unrepresentable here.
+//!   (The per-second delta is still available: it is the difference of
+//!   adjacent captures.)
+//! * **Seqlock slots, single writer.** Each slot carries a sequence
+//!   counter (odd = write in progress); the one sampler thread bumps it
+//!   around its stores and readers retry on a torn read. No locks, no
+//!   allocation on the write path, and a stalled reader can never block
+//!   the sampler.
+//!
+//! The capture layout is schema'd: `counters` plain `u64`s first, then
+//! `hists` histograms of [`HIST_SLOTS`] values each (the [`NBUCKETS`]
+//! bucket counts plus the cumulative sum in nanoseconds), so windowed
+//! quantiles come from the same log-scale buckets as the lifetime ones.
+
+use crate::hist::{LatencyHistogram, NBUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values per histogram in a capture: the bucket counts plus the
+/// cumulative observation sum in nanoseconds (for windowed means).
+pub const HIST_SLOTS: usize = NBUCKETS + 1;
+
+/// Capture layout: how many plain counters, then how many histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSchema {
+    /// Plain cumulative counters at the front of each capture.
+    pub counters: usize,
+    /// Histograms following them, [`HIST_SLOTS`] values each.
+    pub hists: usize,
+}
+
+impl WindowSchema {
+    /// Total `u64` values per capture.
+    pub fn width(&self) -> usize {
+        self.counters + self.hists * HIST_SLOTS
+    }
+}
+
+/// Appends a histogram snapshot to a capture buffer in ring layout
+/// ([`NBUCKETS`] cumulative bucket counts, then the cumulative sum in
+/// integer nanoseconds).
+pub fn push_hist(buf: &mut Vec<u64>, h: &LatencyHistogram) {
+    buf.extend_from_slice(h.bucket_counts());
+    buf.push((h.sum_ms() * 1e6) as u64);
+}
+
+/// One seqlock-protected per-second slot.
+struct Slot {
+    /// Odd while the writer is mid-store; readers retry until even and
+    /// unchanged across their copy.
+    seq: AtomicU64,
+    /// Absolute second this slot currently holds (u64::MAX = never
+    /// written).
+    sec: AtomicU64,
+    values: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new(width: usize) -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            sec: AtomicU64::new(u64::MAX),
+            values: (0..width).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Seqlock write: only the sampler thread calls this.
+    fn store(&self, sec: u64, values: &[u64]) {
+        self.seq.fetch_add(1, Ordering::Release); // now odd
+        self.sec.store(sec, Ordering::Relaxed);
+        for (slot, &v) in self.values.iter().zip(values) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        self.seq.fetch_add(1, Ordering::Release); // even again
+    }
+
+    /// Seqlock read: `None` if the slot is unwritten or the writer kept
+    /// racing us past the retry budget (the caller just skips the slot).
+    fn load(&self) -> Option<(u64, Vec<u64>)> {
+        for _ in 0..64 {
+            let before = self.seq.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let sec = self.sec.load(Ordering::Relaxed);
+            let values: Vec<u64> = self
+                .values
+                .iter()
+                .map(|v| v.load(Ordering::Relaxed))
+                .collect();
+            if self.seq.load(Ordering::Acquire) == before {
+                return (sec != u64::MAX).then_some((sec, values));
+            }
+        }
+        None
+    }
+}
+
+/// How many per-second captures the ring retains. Two minutes of slack
+/// over the longest (60 s) window, so a 60 s query's start capture is
+/// still present while the writer rotates at the other end.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// A lock-free ring of per-second cumulative captures (see the module
+/// docs for why captures, not deltas).
+pub struct WindowRing {
+    schema: WindowSchema,
+    slots: Vec<Slot>,
+    /// Largest second ever ingested, stored as `sec + 1` so the empty
+    /// sentinel (0) composes with `fetch_max`.
+    latest: AtomicU64,
+}
+
+impl WindowRing {
+    /// An empty ring retaining `capacity` per-second captures.
+    pub fn new(schema: WindowSchema, capacity: usize) -> WindowRing {
+        assert!(
+            capacity >= 2,
+            "a ring needs at least two captures to difference"
+        );
+        WindowRing {
+            schema,
+            slots: (0..capacity).map(|_| Slot::new(schema.width())).collect(),
+            latest: AtomicU64::new(0),
+        }
+    }
+
+    /// The capture layout this ring was built with.
+    pub fn schema(&self) -> WindowSchema {
+        self.schema
+    }
+
+    /// Stores the cumulative capture for absolute second `sec`. Values
+    /// must follow the ring's schema; the sampler calls this once per
+    /// second (a re-capture within the same second overwrites, keeping
+    /// the newer cumulative). Single-writer: one sampler thread.
+    pub fn ingest(&self, sec: u64, values: &[u64]) {
+        assert_eq!(values.len(), self.schema.width(), "capture width mismatch");
+        self.slots[(sec as usize) % self.slots.len()].store(sec, values);
+        self.latest.fetch_max(sec + 1, Ordering::AcqRel);
+    }
+
+    /// The newest ingested second, if any.
+    pub fn latest_sec(&self) -> Option<u64> {
+        self.latest.load(Ordering::Acquire).checked_sub(1)
+    }
+
+    /// Deltas over (up to) the trailing `want_secs` seconds: the newest
+    /// capture minus the newest capture at least `want_secs` older (or
+    /// the oldest still in the ring, when the process is younger than the
+    /// window). `None` until two captures exist. Every returned delta is
+    /// exact — the difference of two cumulative captures — so it can
+    /// never double-count a rotation or go negative.
+    pub fn window(&self, want_secs: u64) -> Option<WindowSnapshot> {
+        let latest = self.latest_sec()?;
+        // Collect every valid capture not newer than `latest`. The ring
+        // is small (128 slots) and this runs at scrape frequency, so a
+        // scan beats clever slot arithmetic that would have to reason
+        // about writer races.
+        let mut captures: Vec<(u64, Vec<u64>)> = self
+            .slots
+            .iter()
+            .filter_map(Slot::load)
+            .filter(|(sec, _)| *sec <= latest)
+            .collect();
+        captures.sort_by_key(|(sec, _)| *sec);
+        let (end_sec, end) = captures.pop()?;
+        let cutoff = end_sec.saturating_sub(want_secs);
+        // Newest capture at or before the cutoff; else the oldest we have.
+        let start_idx = match captures.iter().rposition(|(sec, _)| *sec <= cutoff) {
+            Some(i) => i,
+            None if !captures.is_empty() => 0,
+            None => return None,
+        };
+        let (start_sec, start) = &captures[start_idx];
+        Some(WindowSnapshot {
+            start_sec: *start_sec,
+            end_sec,
+            schema: self.schema,
+            deltas: end
+                .iter()
+                .zip(start)
+                .map(|(e, s)| e.saturating_sub(*s))
+                .collect(),
+        })
+    }
+}
+
+/// Exact deltas between two cumulative captures: everything that happened
+/// in `(start_sec, end_sec]`.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Second of the start capture (exclusive edge of the window).
+    pub start_sec: u64,
+    /// Second of the end capture (inclusive edge of the window).
+    pub end_sec: u64,
+    schema: WindowSchema,
+    deltas: Vec<u64>,
+}
+
+impl WindowSnapshot {
+    /// Seconds the window actually covers (may be shorter than asked for
+    /// on a young process, or longer when captures were missed).
+    pub fn span_secs(&self) -> u64 {
+        self.end_sec - self.start_sec
+    }
+
+    /// Delta of plain counter `i` over the window.
+    pub fn counter(&self, i: usize) -> u64 {
+        assert!(i < self.schema.counters);
+        self.deltas[i]
+    }
+
+    /// Per-second rate of counter `i` (0 when the span is empty).
+    pub fn rate(&self, i: usize) -> f64 {
+        let span = self.span_secs();
+        if span == 0 {
+            0.0
+        } else {
+            self.counter(i) as f64 / span as f64
+        }
+    }
+
+    /// The windowed histogram at index `i`, reconstructed from the bucket
+    /// deltas — quantiles over it describe only this window. The maximum
+    /// is approximated by the upper edge of the highest occupied bucket
+    /// (the exact max is not recoverable from bucket deltas).
+    pub fn hist(&self, i: usize) -> LatencyHistogram {
+        assert!(i < self.schema.hists);
+        let base = self.schema.counters + i * HIST_SLOTS;
+        let counts = self.deltas[base..base + NBUCKETS].to_vec();
+        let sum_ms = self.deltas[base + NBUCKETS] as f64 / 1e6;
+        LatencyHistogram::from_bucket_counts(counts, sum_ms)
+    }
+
+    /// Merges another window's deltas into this one (counters add,
+    /// histogram buckets add), widening the covered range to the union —
+    /// the shape a federated scrape needs to fold per-proxy windows into
+    /// one verdict. Both snapshots must share a schema.
+    pub fn merge(&mut self, other: &WindowSnapshot) {
+        assert_eq!(self.schema, other.schema, "schema mismatch in window merge");
+        for (a, b) in self.deltas.iter_mut().zip(&other.deltas) {
+            *a += b;
+        }
+        self.start_sec = self.start_sec.min(other.start_sec);
+        self.end_sec = self.end_sec.max(other.end_sec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const SCHEMA: WindowSchema = WindowSchema {
+        counters: 2,
+        hists: 1,
+    };
+
+    fn capture(a: u64, b: u64, h: &LatencyHistogram) -> Vec<u64> {
+        let mut v = vec![a, b];
+        push_hist(&mut v, h);
+        v
+    }
+
+    #[test]
+    fn empty_ring_has_no_window() {
+        let ring = WindowRing::new(SCHEMA, 8);
+        assert!(ring.window(10).is_none());
+        assert!(ring.latest_sec().is_none());
+    }
+
+    #[test]
+    fn single_capture_has_no_window() {
+        let ring = WindowRing::new(SCHEMA, 8);
+        ring.ingest(0, &capture(0, 0, &LatencyHistogram::new()));
+        assert!(ring.window(10).is_none());
+    }
+
+    #[test]
+    fn window_differences_endpoint_captures() {
+        let ring = WindowRing::new(SCHEMA, 128);
+        let mut h = LatencyHistogram::new();
+        ring.ingest(0, &capture(0, 0, &h));
+        h.record(5.0);
+        ring.ingest(1, &capture(10, 1, &h));
+        h.record(50.0);
+        h.record(50.0);
+        ring.ingest(2, &capture(25, 1, &h));
+        // Trailing 1 s: second 2 only.
+        let w = ring.window(1).unwrap();
+        assert_eq!((w.start_sec, w.end_sec), (1, 2));
+        assert_eq!(w.counter(0), 15);
+        assert_eq!(w.counter(1), 0);
+        assert_eq!(w.rate(0), 15.0);
+        let wh = w.hist(0);
+        assert_eq!(wh.count(), 2);
+        assert!(
+            wh.quantile_ms(0.5) > 5.0,
+            "5 ms sample belongs to the older second"
+        );
+        // Trailing 10 s on a 2 s old ring: everything.
+        let w = ring.window(10).unwrap();
+        assert_eq!((w.start_sec, w.end_sec), (0, 2));
+        assert_eq!(w.counter(0), 25);
+        assert_eq!(w.hist(0).count(), 3);
+        assert!((w.hist(0).sum_ms() - 105.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotation_drops_old_captures() {
+        let ring = WindowRing::new(SCHEMA, 8);
+        let h = LatencyHistogram::new();
+        for sec in 0..100u64 {
+            ring.ingest(sec, &capture(sec * 10, 0, &h));
+        }
+        // Only the last 8 captures survive; a 60 s ask degrades to them.
+        let w = ring.window(60).unwrap();
+        assert_eq!(w.end_sec, 99);
+        assert!(w.start_sec >= 92);
+        assert_eq!(w.counter(0), (99 - w.start_sec) * 10);
+    }
+
+    #[test]
+    fn recapture_within_a_second_keeps_newer_values() {
+        let ring = WindowRing::new(SCHEMA, 8);
+        let h = LatencyHistogram::new();
+        ring.ingest(0, &capture(0, 0, &h));
+        ring.ingest(5, &capture(40, 0, &h));
+        ring.ingest(5, &capture(70, 0, &h));
+        let w = ring.window(60).unwrap();
+        assert_eq!(w.counter(0), 70);
+        assert_eq!(w.span_secs(), 5);
+    }
+
+    #[test]
+    fn merge_adds_deltas_and_widens_range() {
+        let ring = WindowRing::new(SCHEMA, 16);
+        let mut h = LatencyHistogram::new();
+        ring.ingest(0, &capture(0, 0, &h));
+        h.record(1.0);
+        ring.ingest(4, &capture(7, 2, &h));
+        let mut a = ring.window(60).unwrap();
+        let b = ring.window(60).unwrap();
+        a.merge(&b);
+        assert_eq!(a.counter(0), 14);
+        assert_eq!(a.counter(1), 4);
+        assert_eq!(a.hist(0).count(), 2);
+        assert_eq!((a.start_sec, a.end_sec), (0, 4));
+    }
+
+    #[test]
+    fn snapshot_during_rotation_never_goes_negative_or_double_counts() {
+        // A writer ingesting monotone cumulative captures as fast as it
+        // can, racing readers taking windows: every observed delta must
+        // stay within the cumulative total (no double-count) and the
+        // snapshot must be internally consistent (derived count == bucket
+        // sum). The seqlock retry makes torn captures unobservable.
+        let ring = Arc::new(WindowRing::new(
+            WindowSchema {
+                counters: 1,
+                hists: 0,
+            },
+            8,
+        ));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut total = 0u64;
+                for sec in 0..20_000u64 {
+                    total += sec % 7;
+                    ring.ingest(sec, &[total]);
+                }
+                total
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut last_end = 0u64;
+                    for _ in 0..10_000 {
+                        if let Some(w) = ring.window(3) {
+                            assert!(w.end_sec >= w.start_sec);
+                            // The end capture can wobble a little between
+                            // scans (a mid-write slot is skipped, and the
+                            // writer touches different slots during
+                            // different scans) but never by more than the
+                            // ring's span.
+                            assert!(
+                                w.end_sec + 8 >= last_end,
+                                "window end rewound past the ring span"
+                            );
+                            last_end = last_end.max(w.end_sec);
+                            // 6 is the max per-second increment; the ring
+                            // holds 8 captures, so no honest window can
+                            // exceed the whole ring's worth of increments.
+                            assert!(w.counter(0) <= 6 * 8, "delta {} too large", w.counter(0));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let final_total = writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let w = ring.window(1).unwrap();
+        assert!(w.counter(0) <= final_total);
+    }
+}

@@ -401,6 +401,14 @@ impl ClientAgent {
         self.roundtrip(Message::new("TRACE BAPS/1.0"))
     }
 
+    /// Scrapes the proxy's SLO verdict document over the wire
+    /// (`HEALTH BAPS/1.0`). The reply body parses with
+    /// [`crate::HealthReport::parse`]; the `Verdict` header carries the
+    /// worst rule verdict for cheap checks.
+    pub fn proxy_health_raw(&self) -> Result<Message, ProxyError> {
+        self.roundtrip(Message::new("HEALTH BAPS/1.0"))
+    }
+
     fn register(&self) -> Result<(), ProxyError> {
         let reply = self.roundtrip(
             Message::new(format!("REGISTER {} BAPS/1.0", self.peer_addr.port()))

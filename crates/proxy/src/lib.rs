@@ -28,6 +28,7 @@ pub mod client;
 pub mod disk;
 pub mod error;
 pub mod fault;
+pub mod health;
 mod metrics;
 pub mod origin;
 pub mod pool;
@@ -43,6 +44,7 @@ pub use client::{ClientAgent, ClientConfig, FetchResult, Source, TamperMode};
 pub use disk::{DiskConfig, DiskStats, DiskTier};
 pub use error::ProxyError;
 pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan};
+pub use health::{HealthReport, RuleVerdict, SloRule, SloSignal, SloTable, Verdict, WindowRates};
 pub use origin::OriginServer;
 pub use pool::{dial_with_deadline, ConnRegistry, PoolTelemetry, SaturationSnapshot, WorkerPool};
 pub use protocol::{encode_message, read_message, response_code, write_message, Body, Message};

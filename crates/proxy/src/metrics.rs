@@ -20,6 +20,29 @@ use baps_obs::prom::PromText;
 pub(crate) fn render(state: &ProxyState) -> String {
     let mut out = PromText::new();
 
+    // Who is answering: the crate version and serving mode as an
+    // info-style gauge (constant 1), plus seconds since this incarnation
+    // started — the standard pair scrapers use to detect restarts and
+    // correlate a deploy with a metric shift.
+    out.header(
+        "baps_build_info",
+        "gauge",
+        "Build/runtime identity of the serving proxy (value is always 1).",
+    );
+    out.sample(
+        "baps_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("io_mode", state.config.io_mode.name()),
+        ],
+        1.0,
+    );
+    out.gauge(
+        "baps_uptime_seconds",
+        "Seconds since this proxy incarnation started.",
+        state.windows.uptime_secs() as f64,
+    );
+
     // Request counters: one consistent snapshot (baseline included), so
     // the balance identity requests == proxy_hits + disk_hits + peer_hits
     // + origin_fetches + errors holds inside every scrape.
@@ -324,15 +347,21 @@ pub(crate) fn render(state: &ProxyState) -> String {
         );
     }
 
-    // Latency histograms: answered GETs by serve tier, and every
-    // dispatched message by verb.
+    // Latency histograms: answered GETs by serve tier (tail buckets
+    // annotated with OpenMetrics-style exemplar trace ids, resolvable
+    // via `TRACE BAPS/1.0`), and every dispatched message by verb.
     out.header(
         "baps_request_latency_ms",
         "histogram",
         "GET serve latency by tier, milliseconds.",
     );
-    for (label, h) in state.obs.tiers.iter() {
-        out.histogram("baps_request_latency_ms", &[("tier", label)], &h);
+    for (label, h, exemplars) in state.obs.tiers.iter_with_exemplars() {
+        out.histogram_with_exemplars(
+            "baps_request_latency_ms",
+            &[("tier", label)],
+            &h,
+            &exemplars,
+        );
     }
     out.header(
         "baps_verb_latency_ms",

@@ -15,6 +15,7 @@
 
 use crate::disk::{DiskConfig, DiskStats, DiskTier};
 use crate::fault::{write_reply_with_fault, FaultKind, FaultPlan};
+use crate::health::{HealthReport, ProxyWindows, SloTable};
 use crate::pool::{
     dial_with_deadline, ConnRegistry, PoolTelemetry, SaturationSnapshot, WorkerPool,
     DEFAULT_BACKLOG, DEFAULT_WORKERS,
@@ -134,6 +135,9 @@ pub struct ProxyConfig {
     /// test bed passes one ring shared with the origin and every client so
     /// a single dump interleaves all sides of a request.
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Declarative SLO rules the `HEALTH BAPS/1.0` verb evaluates over
+    /// the rolling telemetry windows (DESIGN.md §14).
+    pub slo: SloTable,
 }
 
 impl ProxyConfig {
@@ -288,13 +292,14 @@ impl ProxyStats {
 const SLOW_SHARD_WAIT: Duration = Duration::from_micros(100);
 
 /// Label set for the proxy's per-verb latency histograms.
-pub(crate) const PROXY_VERBS: [&str; 7] = [
+pub(crate) const PROXY_VERBS: [&str; 8] = [
     "GET",
     "INVALIDATE",
     "REGISTER",
     "STATS",
     "METRICS",
     "TRACE",
+    "HEALTH",
     "other",
 ];
 
@@ -307,7 +312,8 @@ pub(crate) fn verb_index(verb: Option<&&str>) -> usize {
         Some(&"STATS") => 3,
         Some(&"METRICS") => 4,
         Some(&"TRACE") => 5,
-        _ => 6,
+        Some(&"HEALTH") => 6,
+        _ => 7,
     }
 }
 
@@ -356,6 +362,9 @@ pub(crate) struct ProxyState {
     /// misses park on the entry's condvar and share the leader's outcome.
     /// The lock guards only the map — never the fetch itself.
     inflight: Mutex<HashMap<DocId, Arc<Inflight>>>,
+    /// Rolling per-second telemetry windows (fed by the sampler thread
+    /// and forced captures), the substrate of `HEALTH` SLO verdicts.
+    pub(crate) windows: ProxyWindows,
 }
 
 impl ProxyState {
@@ -442,6 +451,8 @@ pub struct ProxyServer {
     /// The acceptor thread; it owns the serving backend (worker pool or
     /// reactor) and hands it back on exit so `stop` can join the threads.
     handle: Option<JoinHandle<ServeBackend>>,
+    /// The 1 Hz window sampler thread feeding `state.windows`.
+    sampler: Option<JoinHandle<()>>,
     conns: ConnControl,
     state: Arc<ProxyState>,
     /// The bound listening socket. The acceptor thread runs on a clone;
@@ -522,7 +533,24 @@ impl ProxyServer {
             telemetry: Arc::clone(&telemetry),
             reactor: reactor_telemetry.clone(),
             inflight: Mutex::new(HashMap::new()),
+            windows: ProxyWindows::new(),
         });
+        // Zero-point capture: the first window differences against the
+        // counters as they stood at start (the restart baseline included),
+        // so windows measure activity of *this* incarnation only.
+        state.windows.force_capture(&state);
+        let sampler = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("baps-proxy-windows".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        state.windows.maybe_capture(&state);
+                        std::thread::park_timeout(Duration::from_millis(50));
+                    }
+                })?
+        };
         let backend = match io_mode {
             IoMode::Threads => {
                 let state = Arc::clone(&state);
@@ -570,6 +598,7 @@ impl ProxyServer {
             addr,
             shutdown,
             handle: Some(handle),
+            sampler: Some(sampler),
             conns,
             state,
             listener,
@@ -698,6 +727,28 @@ impl ProxyServer {
         self.state.obs.recorder.dump_spans()
     }
 
+    /// The SLO verdict the `HEALTH BAPS/1.0` verb serves, evaluated
+    /// directly (test/ops hook — no connection needed). Forces a window
+    /// capture first, exactly as the wire verb does.
+    pub fn health(&self) -> HealthReport {
+        self.state.windows.force_capture(&self.state);
+        crate::health::evaluate(&self.state)
+    }
+
+    /// Test hook: forces one window capture *now*, advancing the capture
+    /// tick by at least one second even if the wall clock has not moved.
+    /// Deterministic tests bracket a burst with two calls and difference
+    /// the resulting windows.
+    pub fn sample_windows_now(&self) {
+        self.state.windows.force_capture(&self.state);
+    }
+
+    /// Seconds since this proxy incarnation started (the
+    /// `baps_uptime_seconds` gauge).
+    pub fn uptime_secs(&self) -> u64 {
+        self.state.windows.uptime_secs()
+    }
+
     /// Ops/test hook: abruptly severs every open client connection (and
     /// discards pooled origin connections) without stopping the server.
     /// Keep-alive clients observe EOF mid-session and must reconnect.
@@ -724,6 +775,10 @@ impl ProxyServer {
                 // event loops) exit, then joins the threads.
                 backend.shutdown();
             }
+        }
+        if let Some(sampler) = self.sampler.take() {
+            sampler.thread().unpark();
+            let _ = sampler.join();
         }
         self.state.origin_pool.lock().clear();
         // Persist the cumulative counters beside the disk tier so the
@@ -948,6 +1003,22 @@ pub(crate) fn dispatch(
                     .with_body(text.into_bytes()),
             )
         }
+        // Like the other read-only admin verbs this runs inline on an
+        // event loop in reactor mode (`needs_miss_executor` is false), so
+        // both I/O modes answer through the identical code path.
+        ["HEALTH", "BAPS/1.0"] => {
+            state.windows.force_capture(state);
+            let report = crate::health::evaluate(state);
+            Some(
+                response(status::OK, "OK")
+                    .header("Content-Type", "text/plain")
+                    .header("Verdict", report.verdict.name())
+                    .header("Rules", report.rules.len().to_string())
+                    .header("Uptime-Seconds", report.uptime_secs.to_string())
+                    .header("Io-Mode", state.config.io_mode.name())
+                    .with_body(report.render().into_bytes()),
+            )
+        }
         _ => Some(response(status::BAD_REQUEST, "Bad Request")),
     }
 }
@@ -1034,7 +1105,7 @@ fn handle_get(
         state
             .obs
             .tiers
-            .record(Tier::Proxy.index(), t_request.elapsed());
+            .record_traced(Tier::Proxy.index(), t_request.elapsed(), trace);
         return ok_response("proxy", &cached);
     }
 
@@ -1094,10 +1165,11 @@ fn handle_get(
                             t_wait.elapsed(),
                             format!("url={url} outcome=ok"),
                         );
-                        state
-                            .obs
-                            .tiers
-                            .record(Tier::Proxy.index(), t_request.elapsed());
+                        state.obs.tiers.record_traced(
+                            Tier::Proxy.index(),
+                            t_request.elapsed(),
+                            trace,
+                        );
                         return ok_response("proxy", &cached);
                     }
                     FlightOutcome::Error(code, reason) => {
@@ -1131,10 +1203,11 @@ fn handle_get(
                         if let Some(cached) = state.cache.get(doc, url) {
                             state.counters.proxy_hits.fetch_add(1, Ordering::Relaxed);
                             state.index.on_store(requester, doc);
-                            state
-                                .obs
-                                .tiers
-                                .record(Tier::Proxy.index(), t_request.elapsed());
+                            state.obs.tiers.record_traced(
+                                Tier::Proxy.index(),
+                                t_request.elapsed(),
+                                trace,
+                            );
                             return ok_response("proxy", &cached);
                         }
                         if attempt >= MAX_FLIGHT_JOINS {
@@ -1305,7 +1378,7 @@ fn handle_miss(
             if hit.fresh {
                 let outcome = FlightOutcome::Doc(hit.doc.clone());
                 return (
-                    serve_from_disk(state, requester, doc, url, hit.doc, false, t_request),
+                    serve_from_disk(state, requester, doc, url, hit.doc, false, trace, t_request),
                     outcome,
                 );
             }
@@ -1336,7 +1409,9 @@ fn handle_miss(
                     disk.refresh(url);
                     let outcome = FlightOutcome::Doc(hit.doc.clone());
                     return (
-                        serve_from_disk(state, requester, doc, url, hit.doc, true, t_request),
+                        serve_from_disk(
+                            state, requester, doc, url, hit.doc, true, trace, t_request,
+                        ),
                         outcome,
                     );
                 }
@@ -1395,10 +1470,11 @@ fn handle_miss(
                         state.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
                         state.counters.direct_pushes.fetch_add(1, Ordering::Relaxed);
                         state.index.on_store(requester, doc);
-                        state
-                            .obs
-                            .tiers
-                            .record(Tier::Peer.index(), t_request.elapsed());
+                        state.obs.tiers.record_traced(
+                            Tier::Peer.index(),
+                            t_request.elapsed(),
+                            trace,
+                        );
                         // A direct push carries no body through the proxy,
                         // so there is nothing to share with followers.
                         return (
@@ -1442,7 +1518,7 @@ fn handle_miss(
                     state
                         .obs
                         .tiers
-                        .record(Tier::Peer.index(), t_request.elapsed());
+                        .record_traced(Tier::Peer.index(), t_request.elapsed(), trace);
                     let reply = ok_response("peer", &cached);
                     return (reply, FlightOutcome::Doc(cached));
                 }
@@ -1527,13 +1603,14 @@ fn serve_origin_fetch(
     state
         .obs
         .tiers
-        .record(Tier::Origin.index(), t_request.elapsed());
+        .record_traced(Tier::Origin.index(), t_request.elapsed(), trace);
     (ok_response("origin", &cached), cached)
 }
 
 /// Serves a verified disk-tier document: counts the hit, promotes the
 /// document into the memory tier (repeat requests become memory hits),
 /// and updates the index.
+#[allow(clippy::too_many_arguments)]
 fn serve_from_disk(
     state: &ProxyState,
     requester: ClientId,
@@ -1541,6 +1618,7 @@ fn serve_from_disk(
     url: &str,
     cached: CachedDoc,
     revalidated: bool,
+    trace: TraceId,
     t_request: Instant,
 ) -> Message {
     state.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -1555,7 +1633,7 @@ fn serve_from_disk(
     state
         .obs
         .tiers
-        .record(Tier::Disk.index(), t_request.elapsed());
+        .record_traced(Tier::Disk.index(), t_request.elapsed(), trace);
     ok_response("disk", &cached)
 }
 

@@ -1,0 +1,135 @@
+//! Observability parity between the two connection-serving backends:
+//! `STATS`, `METRICS`, `TRACE`, and `HEALTH` must answer with the same
+//! shape — same metric families, same header sets, same rule table — in
+//! `io_mode = Reactor` as in `Threads`, modulo the documented
+//! reactor-only additions. A drift here means ops tooling written
+//! against one mode silently breaks against the other.
+
+use baps_proxy::{DocumentStore, HealthReport, IoMode, Message, TestBed, TestBedConfig};
+use std::collections::BTreeSet;
+
+/// Identical deterministic workload in the requested mode: a few origin
+/// misses, repeat hits, and one INVALIDATE, so every counter family and
+/// histogram tier is populated the same way in both runs.
+fn scraped_bed(io_mode: IoMode) -> TestBed {
+    let store = DocumentStore::synthetic(12, 200, 1_500, 42);
+    let bed = TestBed::start(
+        store,
+        TestBedConfig {
+            n_clients: 2,
+            io_mode,
+            ..TestBedConfig::default()
+        },
+    )
+    .expect("test bed starts");
+    for i in 0..8 {
+        let url = format!("http://origin/doc/{}", i % 4);
+        bed.clients[(i % 2) as usize].fetch(&url).expect("fetch ok");
+    }
+    bed.clients[0]
+        .publish_invalidate("http://origin/doc/0")
+        .expect("invalidate ok");
+    bed
+}
+
+fn header_names(msg: &Message) -> BTreeSet<String> {
+    msg.headers.iter().map(|(k, _)| k.clone()).collect()
+}
+
+/// `# TYPE` families of an exposition: `(name, kind)` pairs.
+fn families(text: &str) -> BTreeSet<(String, String)> {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(|rest| {
+            let mut words = rest.split_whitespace();
+            (
+                words.next().expect("family name").to_string(),
+                words.next().expect("family kind").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_families_match_across_io_modes() {
+    let threads = scraped_bed(IoMode::Threads);
+    let reactor = scraped_bed(IoMode::Reactor);
+    let t_text = threads.proxy.metrics_text();
+    let r_text = reactor.proxy.metrics_text();
+    baps_obs::prom::check_conformance(&t_text).expect("threads exposition conforms");
+    baps_obs::prom::check_conformance(&r_text).expect("reactor exposition conforms");
+
+    let t_families = families(&t_text);
+    let r_families = families(&r_text);
+    let reactor_only: Vec<_> = r_families.difference(&t_families).collect();
+    assert!(
+        t_families.is_subset(&r_families),
+        "families present in threads mode but missing in reactor mode: {:?}",
+        t_families.difference(&r_families).collect::<Vec<_>>()
+    );
+    assert!(
+        reactor_only
+            .iter()
+            .all(|(name, _)| name.starts_with("baps_reactor_")),
+        "undocumented reactor-only families: {reactor_only:?}"
+    );
+}
+
+#[test]
+fn stats_trace_health_headers_match_across_io_modes() {
+    let threads = scraped_bed(IoMode::Threads);
+    let reactor = scraped_bed(IoMode::Reactor);
+
+    let t_stats = threads.clients[0].proxy_stats_raw().expect("stats");
+    let r_stats = reactor.clients[0].proxy_stats_raw().expect("stats");
+    let t_names = header_names(&t_stats);
+    let r_names = header_names(&r_stats);
+    assert!(
+        t_names.is_subset(&r_names),
+        "STATS headers present in threads mode but missing in reactor mode: {:?}",
+        t_names.difference(&r_names).collect::<Vec<_>>()
+    );
+    assert!(
+        r_names
+            .difference(&t_names)
+            .all(|name| name.starts_with("Reactor-")),
+        "undocumented reactor-only STATS headers: {:?}",
+        r_names.difference(&t_names).collect::<Vec<_>>()
+    );
+
+    let t_trace = threads.clients[0].proxy_trace_raw().expect("trace");
+    let r_trace = reactor.clients[0].proxy_trace_raw().expect("trace");
+    assert_eq!(
+        header_names(&t_trace),
+        header_names(&r_trace),
+        "TRACE header sets must be identical across io modes"
+    );
+
+    let t_health = threads.clients[0].proxy_health_raw().expect("health");
+    let r_health = reactor.clients[0].proxy_health_raw().expect("health");
+    assert_eq!(
+        header_names(&t_health),
+        header_names(&r_health),
+        "HEALTH header sets must be identical across io modes"
+    );
+    assert_eq!(t_health.get("Io-Mode"), Some("threads"));
+    assert_eq!(r_health.get("Io-Mode"), Some("reactor"));
+
+    let t_report = HealthReport::parse(std::str::from_utf8(&t_health.body).unwrap())
+        .expect("threads verdict document parses");
+    let r_report = HealthReport::parse(std::str::from_utf8(&r_health.body).unwrap())
+        .expect("reactor verdict document parses");
+    let rule_shape = |report: &HealthReport| {
+        report
+            .rules
+            .iter()
+            .map(|r| (r.name.clone(), r.signal, r.window_secs))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        rule_shape(&t_report),
+        rule_shape(&r_report),
+        "both modes evaluate the same rule table"
+    );
+    assert_eq!(t_report.windows.len(), r_report.windows.len());
+}

@@ -18,7 +18,10 @@ cargo test -q --workspace
 
 echo "== chaos soak (fixed seed)"
 # Deterministic fault-injection soak: 2k requests under seed 42, run twice
-# internally to prove determinism. Exits nonzero with a reproduction line
+# internally to prove determinism. Also gates the HEALTH SLO engine: the
+# chaos-calibrated rule table must judge the completed schedule ok, and a
+# post-schedule burst of GETs for nonexistent URLs must flip error_burn
+# to critical deterministically. Exits nonzero with a reproduction line
 # on any invariant violation.
 cargo run --release -q -p baps-bench --bin chaos_soak -- --seed 42 --requests 2000
 
@@ -65,6 +68,24 @@ echo "== metrics smoke (METRICS exposition + recording-overhead gate)"
 # on/off (median of paired rounds, one re-measure on a noisy first
 # reading) and fails the build if always-on recording costs >3%.
 cargo run --release -q -p baps-bench --bin live_load -- --smoke 8000 64
+
+echo "== metrics smoke, reactor I/O mode (exposition parity, no overhead A/B)"
+# The same scrape assertions with the proxy on the epoll reactor: the
+# exposition (identity gauges included) must parse and balance
+# identically in both serving modes. The wall-clock-heavy overhead gate
+# already ran above and is skipped here.
+cargo run --release -q -p baps-bench --bin live_load -- \
+    --smoke --io-mode reactor --no-overhead 8000 64
+
+echo "== health smoke (HEALTH SLO engine + tail-exemplar resolution gate)"
+# Starts a testbed whose origin stalls every reply 15 ms (deterministic
+# tail latencies), scrapes HEALTH twice 2 s apart, and asserts the full
+# default rule table evaluates, the windows move between scrapes, the
+# METRICS exposition carries well-formed tail-bucket exemplars, and every
+# exemplar trace id resolves through TRACE to a complete sampled span
+# tree. Run in both serving modes.
+cargo run --release -q -p baps-bench --bin health_smoke
+cargo run --release -q -p baps-bench --bin health_smoke -- --io-mode reactor
 
 echo "== trace smoke (multi-hop span-tree reconstruction gate)"
 # Builds a live deployment, forces peer and origin hits, scrapes the
